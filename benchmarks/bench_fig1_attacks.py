@@ -1,0 +1,78 @@
+"""Fig. 1: training curves and final accuracy of the three attacks.
+
+Paper: WFA validation accuracy stabilizes at 98.72% (98.57% on the
+victim), KSA at 95.21% (95.48%), MEA matched-layer accuracy at 91.8%
+(90.5%). Our scales are reduced (runs per secret, sampling interval) —
+the shape to reproduce is fast convergence to >90% for all three.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.attacks import (
+    KeystrokeSniffingAttack,
+    ModelExtractionAttack,
+    WebsiteFingerprintingAttack,
+)
+
+
+def _curve(values, width=10):
+    from repro.analysis.ascii_chart import sparkline
+    picks = np.linspace(0, len(values) - 1, min(width, len(values)))
+    sampled = " ".join(f"{values[int(i)]:.2f}" for i in picks)
+    return f"{sampled}  {sparkline(values, lo=0.0)}"
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1a_website_fingerprinting(benchmark, website_dataset,
+                                      website_sites):
+    def run():
+        attack = WebsiteFingerprintingAttack(
+            num_sites=len(website_sites), downsample=2, epochs=50,
+            batch_size=16, rng=2)
+        return attack.run(website_dataset)
+
+    result = once(benchmark, run)
+    emit("fig1a_wfa", "\n".join([
+        f"WFA: {len(website_sites)} sites x "
+        f"{len(website_dataset) // len(website_sites)} runs",
+        f"val-accuracy curve: {_curve(result.history.val_accuracy)}",
+        f"final accuracy: {result.test_accuracy:.4f} "
+        f"(paper: 0.9872 val / 0.9857 victim)",
+    ]))
+    assert result.test_accuracy > 0.85
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1b_keystroke_sniffing(benchmark, keystroke_dataset):
+    def run():
+        attack = KeystrokeSniffingAttack(downsample=2, epochs=80, rng=4)
+        return attack.run(keystroke_dataset)
+
+    result = once(benchmark, run)
+    emit("fig1b_ksa", "\n".join([
+        f"KSA: K in [0,9] x {len(keystroke_dataset) // 10} runs",
+        f"val-accuracy curve: {_curve(result.history.val_accuracy)}",
+        f"final accuracy: {result.test_accuracy:.4f} "
+        f"(paper: 0.9521 val / 0.9548 victim)",
+    ]))
+    assert result.test_accuracy > 0.8
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1c_model_extraction(benchmark, dnn_dataset, dnn_models):
+    def run():
+        attack = ModelExtractionAttack(downsample=2, epochs=12, rng=6)
+        return attack.run(dnn_dataset)
+
+    result = once(benchmark, run)
+    emit("fig1c_mea", "\n".join([
+        f"MEA: {len(dnn_models)} models x "
+        f"{len(dnn_dataset) // len(dnn_models)} runs",
+        f"frame-accuracy curve: {_curve(result.frame_accuracy_curve)}",
+        f"matched-layer accuracy: {result.test_sequence_accuracy:.4f} "
+        f"(paper: 0.918 val / 0.905 victim; our effective frame rate is "
+        f"8x coarser, which bounds short-layer recovery)",
+    ]))
+    assert result.test_sequence_accuracy > 0.55

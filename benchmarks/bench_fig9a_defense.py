@@ -1,0 +1,134 @@
+"""Fig. 9a: attack accuracy under Aegis vs privacy budget epsilon.
+
+Paper: both mechanisms drive all three attacks from >90% to ~2%
+(random); smaller epsilon = lower accuracy; at equal epsilon the d*
+mechanism protects more strongly; WFA/KSA are more noise-sensitive than
+MEA. Our synthetic workloads carry more *persistent* per-trace signal
+than real browser traces, so the accuracy knee sits a few octaves lower
+in epsilon — the orderings and endpoints are what reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    SLICE_S,
+    WINDOW_S,
+    emit,
+    once,
+)
+from repro.attacks import (
+    KeystrokeSniffingAttack,
+    ModelExtractionAttack,
+    TraceCollector,
+    WebsiteFingerprintingAttack,
+)
+from repro.core.obfuscator import EventObfuscator, estimate_sensitivity
+from repro.workloads import DnnWorkload, KeystrokeWorkload, WebsiteWorkload
+
+
+def _wfa_accuracy(sites, obfuscator, rng_seed=1):
+    workload = WebsiteWorkload()
+    collector = TraceCollector(workload, duration_s=WINDOW_S,
+                               slice_s=SLICE_S, obfuscator=obfuscator,
+                               rng=rng_seed)
+    dataset = collector.collect(20, secrets=sites)
+    attack = WebsiteFingerprintingAttack(num_sites=len(sites), downsample=2,
+                                         epochs=35, batch_size=16, rng=2)
+    return attack.run(dataset).test_accuracy
+
+
+def _ksa_accuracy(obfuscator, sensitivity_out=None):
+    workload = KeystrokeWorkload()
+    collector = TraceCollector(workload, duration_s=WINDOW_S,
+                               slice_s=SLICE_S, obfuscator=obfuscator,
+                               rng=3)
+    dataset = collector.collect(35)
+    if sensitivity_out is not None:
+        # Keystrokes are transient: adjacent secrets differ by a full
+        # burst at some instant, so the peak-based estimator applies.
+        sensitivity_out.append(
+            estimate_sensitivity(dataset.traces[:, 0, :], dataset.labels,
+                                 mode="adjacent-peak"))
+    attack = KeystrokeSniffingAttack(downsample=2, epochs=70, rng=4)
+    return attack.run(dataset).test_accuracy
+
+
+def _mea_accuracy(models, obfuscator, sensitivity_out=None):
+    workload = DnnWorkload()
+    collector = TraceCollector(workload, duration_s=WINDOW_S,
+                               slice_s=0.004, obfuscator=obfuscator, rng=5)
+    dataset = collector.collect(8, secrets=models, with_frames=True)
+    if sensitivity_out is not None:
+        sensitivity_out.append(
+            estimate_sensitivity(dataset.traces[:, 0, :], dataset.labels))
+    attack = ModelExtractionAttack(downsample=2, epochs=12, rng=6)
+    return attack.run(dataset).test_sequence_accuracy
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_defense_effectiveness(benchmark, website_sensitivity):
+    def run():
+        sites = WebsiteWorkload().secrets[:10]
+        models = DnnWorkload().secrets[:8]
+        rows = []
+
+        # Undefended baselines + per-application sensitivities.
+        ksa_sens, mea_sens = [], []
+        rows.append(("WFA", "none", np.inf,
+                     _wfa_accuracy(sites, None)))
+        rows.append(("KSA", "none", np.inf, _ksa_accuracy(None, ksa_sens)))
+        rows.append(("MEA", "none", np.inf,
+                     _mea_accuracy(models, None, mea_sens)))
+
+        for mechanism, epsilons in (("laplace", (2.0, 0.5, 0.125)),
+                                    ("dstar", (8.0, 1.0))):
+            for eps in epsilons:
+                obf = EventObfuscator(mechanism, epsilon=eps,
+                                      sensitivity=website_sensitivity,
+                                      rng=51)
+                rows.append(("WFA", mechanism, eps,
+                             _wfa_accuracy(sites, obf)))
+        obf = EventObfuscator("laplace", epsilon=0.5,
+                              sensitivity=ksa_sens[0], rng=52)
+        rows.append(("KSA", "laplace", 0.5, _ksa_accuracy(obf)))
+        obf = EventObfuscator("laplace", epsilon=0.5,
+                              sensitivity=mea_sens[0], rng=53)
+        rows.append(("MEA", "laplace", 0.5, _mea_accuracy(models, obf)))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'attack':<6s} {'mechanism':<9s} {'eps':>8s} "
+             f"{'accuracy':>9s}",
+             "(paper: >90% undefended -> ~2% at small eps; d* stronger "
+             "than Laplace at equal eps; MEA least sensitive)"]
+    for attack, mechanism, eps, acc in rows:
+        eps_str = "-" if np.isinf(eps) else f"{eps:.3f}"
+        lines.append(f"{attack:<6s} {mechanism:<9s} {eps_str:>8s} "
+                     f"{acc:>9.3f}")
+    emit("fig9a_defense", "\n".join(lines))
+
+    by_key = {(a, m, e): acc for a, m, e, acc in rows}
+    # Undefended attacks succeed (reduced-scale configs run lower than
+    # the dedicated Fig. 1 benchmark, which uses more data).
+    assert by_key[("WFA", "none", np.inf)] > 0.7
+    assert by_key[("KSA", "none", np.inf)] > 0.7
+    assert by_key[("MEA", "none", np.inf)] > 0.5
+    # Laplace: monotone in eps, collapsing at the smallest budget.
+    lap = [by_key[("WFA", "laplace", e)] for e in (2.0, 0.5, 0.125)]
+    assert lap[0] >= lap[-1]
+    assert lap[-1] < 0.3
+    # The defended KSA attack loses most of its accuracy.
+    assert by_key[("KSA", "laplace", 0.5)] \
+        < by_key[("KSA", "none", np.inf)] - 0.25
+    # d* stronger than Laplace at a *larger* budget.
+    assert by_key[("WFA", "dstar", 1.0)] <= by_key[("WFA", "laplace", 0.5)] \
+        + 0.15
+    # MEA is the least noise-sensitive attack (paper remark 4): its
+    # *relative* accuracy retention at matched mechanism/eps exceeds
+    # WFA's.
+    mea_retention = by_key[("MEA", "laplace", 0.5)] \
+        / by_key[("MEA", "none", np.inf)]
+    wfa_retention = by_key[("WFA", "laplace", 0.5)] \
+        / by_key[("WFA", "none", np.inf)]
+    assert mea_retention >= wfa_retention - 0.05

@@ -1,0 +1,58 @@
+"""Fig. 9b: the noise-aware (adaptive) attacker.
+
+Paper: an attacker who knows the defense parameters trains on *noisy*
+template data; the d* mechanism still defeats this model, while the
+Laplace mechanism needs a smaller epsilon (the sweep extends down to
+2^-8). We train matched attackers on defended traces and compare with
+the clean-trained attacker of Fig. 9a.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SLICE_S, WINDOW_S, emit, once
+from repro.attacks import TraceCollector, WebsiteFingerprintingAttack
+from repro.core.obfuscator import EventObfuscator
+from repro.workloads import WebsiteWorkload
+
+
+def _adaptive_accuracy(sites, mechanism, eps, sensitivity):
+    """Attacker trains AND tests on defended traces (worst case)."""
+    workload = WebsiteWorkload()
+    obfuscator = EventObfuscator(mechanism, epsilon=eps,
+                                 sensitivity=sensitivity, rng=61)
+    collector = TraceCollector(workload, duration_s=WINDOW_S,
+                               slice_s=SLICE_S, obfuscator=obfuscator,
+                               rng=1)
+    dataset = collector.collect(16, secrets=sites)
+    attack = WebsiteFingerprintingAttack(num_sites=len(sites), downsample=2,
+                                         epochs=30, batch_size=16, rng=2)
+    return attack.run(dataset).test_accuracy
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_noise_aware_attacker(benchmark, website_sensitivity):
+    def run():
+        sites = WebsiteWorkload().secrets[:10]
+        rows = []
+        for mechanism, epsilons in (("laplace", (0.5, 0.125, 0.03125)),
+                                    ("dstar", (1.0, 0.25))):
+            for eps in epsilons:
+                rows.append((mechanism, eps, _adaptive_accuracy(
+                    sites, mechanism, eps, website_sensitivity)))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'mechanism':<9s} {'eps':>9s} {'adaptive accuracy':>18s}",
+             "(paper: adaptive attackers need a smaller eps to suppress, "
+             "especially for Laplace; d* holds up better)"]
+    for mechanism, eps, acc in rows:
+        lines.append(f"{mechanism:<9s} {eps:>9.4f} {acc:>18.3f}")
+    emit("fig9b_adaptive", "\n".join(lines))
+
+    by_key = {(m, e): a for m, e, a in rows}
+    # Laplace: shrinking eps still suppresses the adaptive attacker.
+    assert by_key[("laplace", 0.03125)] < by_key[("laplace", 0.5)]
+    assert by_key[("laplace", 0.03125)] < 0.35
+    # d* reaches comparable suppression at a larger budget.
+    assert by_key[("dstar", 0.25)] < 0.35

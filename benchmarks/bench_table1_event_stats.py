@@ -1,0 +1,41 @@
+"""Table I: statistics of HPC events in various processors.
+
+Paper: Intel Xeon E5-1650 exposes 6166 events, the E5-4617 6172 (14
+different); the AMD EPYC 7252 and 7313P both expose 1903 (0 different).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.cpu.events import processor_catalog
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_event_statistics(benchmark):
+    def build():
+        rows = []
+        intel_a = processor_catalog("intel-xeon-e5-1650")
+        intel_b = processor_catalog("intel-xeon-e5-4617")
+        amd_a = processor_catalog("amd-epyc-7252")
+        amd_b = processor_catalog("amd-epyc-7313p")
+        rows.append(("intel-xeon-e5-1650", len(intel_a), "/"))
+        rows.append(("intel-xeon-e5-4617", len(intel_b),
+                     len(intel_b) - intel_a.names_shared_with(intel_b)))
+        rows.append(("amd-epyc-7252", len(amd_a), "/"))
+        rows.append(("amd-epyc-7313p", len(amd_b),
+                     len(amd_b) - amd_a.names_shared_with(amd_b)))
+        return rows
+
+    rows = once(benchmark, build)
+    lines = [f"{'processor':<22s} {'# events':>9s} {'# different':>12s}",
+             "(paper: 6166 / 6172 (14 diff) / 1903 / 1903 (0 diff))"]
+    lines += [f"{name:<22s} {count:>9d} {str(diff):>12s}"
+              for name, count, diff in rows]
+    emit("table1_event_stats", "\n".join(lines))
+
+    counts = {name: count for name, count, _ in rows}
+    assert counts["intel-xeon-e5-1650"] == 6166
+    assert counts["intel-xeon-e5-4617"] == 6172
+    assert counts["amd-epyc-7252"] == 1903
+    assert dict((n, d) for n, _, d in rows)["intel-xeon-e5-4617"] == 14
+    assert dict((n, d) for n, _, d in rows)["amd-epyc-7313p"] == 0

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP 660 editable installs;
+this offline environment lacks it, so ``python setup.py develop`` (or
+``pip install -e . --config-settings editable_mode=compat``) is the
+supported editable-install path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Aegis: protecting confidential VMs from HPC side channels.
+
+A full reproduction of "Protecting Confidential Virtual Machines from
+Hardware Performance Counter Side Channels" (DSN 2024) on a simulated
+substrate: a microarchitectural CPU model with per-processor HPC event
+catalogs, an SEV-style guest/hypervisor boundary, synthetic victim
+workloads, numpy attack models, and the paper's three-module defense —
+Application Profiler, Event Fuzzer and Event Obfuscator.
+
+Quickstart::
+
+    from repro import Aegis, WebsiteWorkload, TraceCollector
+    from repro import WebsiteFingerprintingAttack
+
+    workload = WebsiteWorkload()
+    aegis = Aegis(workload, epsilon=1.0, rng=0)
+    deployment = aegis.deploy(secrets=workload.secrets[:10])
+
+    collector = TraceCollector(workload, obfuscator=deployment.obfuscator)
+    dataset = collector.collect(runs_per_secret=20,
+                                secrets=workload.secrets[:10])
+    attack = WebsiteFingerprintingAttack(num_sites=10)
+    print(attack.run(dataset).test_accuracy)  # ~random guess
+"""
+
+from repro.core import (
+    Aegis,
+    AegisDeployment,
+    ApplicationProfiler,
+    DstarMechanism,
+    EventFuzzer,
+    EventObfuscator,
+    FuzzingReport,
+    Gadget,
+    LaplaceMechanism,
+    ProfilerReport,
+)
+from repro.attacks import (
+    DEFAULT_ATTACK_EVENTS,
+    KeystrokeSniffingAttack,
+    ModelExtractionAttack,
+    TraceCollector,
+    TraceDataset,
+    WebsiteFingerprintingAttack,
+)
+from repro.cpu import Core, processor_catalog
+from repro.vm import GuestVM, Hypervisor, PerfEventMonitor
+from repro.workloads import (
+    ALEXA_SITES,
+    DNN_MODELS,
+    DnnWorkload,
+    KeystrokeWorkload,
+    WebsiteWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALEXA_SITES",
+    "Aegis",
+    "AegisDeployment",
+    "ApplicationProfiler",
+    "Core",
+    "DEFAULT_ATTACK_EVENTS",
+    "DNN_MODELS",
+    "DnnWorkload",
+    "DstarMechanism",
+    "EventFuzzer",
+    "EventObfuscator",
+    "FuzzingReport",
+    "Gadget",
+    "GuestVM",
+    "Hypervisor",
+    "KeystrokeSniffingAttack",
+    "KeystrokeWorkload",
+    "LaplaceMechanism",
+    "ModelExtractionAttack",
+    "PerfEventMonitor",
+    "ProfilerReport",
+    "TraceCollector",
+    "TraceDataset",
+    "WebsiteFingerprintingAttack",
+    "WebsiteWorkload",
+    "__version__",
+    "processor_catalog",
+]

@@ -1,0 +1,25 @@
+"""Shared analysis utilities: trace MI, Gaussian/Q-Q stats, overhead,
+ASCII charts and deployment reports."""
+
+from repro.analysis.mutual_information import trace_mutual_information
+from repro.analysis.stats import gaussian_fit, qq_points, shapiro_francia_w
+from repro.analysis.overhead import (
+    OverheadReport,
+    app_cycles_per_slice,
+    measure_overhead,
+)
+from repro.analysis.ascii_chart import bar_chart, sparkline
+from repro.analysis.report import deployment_report
+
+__all__ = [
+    "OverheadReport",
+    "app_cycles_per_slice",
+    "bar_chart",
+    "deployment_report",
+    "gaussian_fit",
+    "measure_overhead",
+    "qq_points",
+    "shapiro_francia_w",
+    "sparkline",
+    "trace_mutual_information",
+]

@@ -1,0 +1,43 @@
+"""ASCII chart helpers for benchmark result files.
+
+The benchmark suite writes plain-text result tables; a sparkline and a
+tiny bar chart make trends (training curves, ε sweeps) legible in the
+same medium.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo: "float | None" = None,
+              hi: "float | None" = None) -> str:
+    """Render values as a unicode sparkline (one char per value)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    lo = float(data.min()) if lo is None else float(lo)
+    hi = float(data.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARK_LEVELS) - 1)).round(), 0,
+                      len(_SPARK_LEVELS) - 1).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def bar_chart(rows: "list[tuple[str, float]]", width: int = 40,
+              unit: str = "") -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    if not rows:
+        return ""
+    peak = max(abs(v) for _, v in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        length = int(round(abs(value) / peak * width))
+        lines.append(f"{label:<{label_width}s} "
+                     f"{'#' * length:<{width}s} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Mutual information between clean and noised traces (paper Fig. 9c).
+
+The paper argues the defense is attack-agnostic because I(X; X') — the
+mutual information between the clean leakage trace X and its noised
+version X' — shrinks with the injected noise, which bounds I(X'; Y) by
+the data-processing inequality. We estimate I(X; X') per time slice
+with a Gaussian approximation and average, mirroring the "real mutual
+information" curve in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _gaussian_mi(x: np.ndarray, x_noised: np.ndarray) -> float:
+    """Gaussian MI estimate from the correlation coefficient (bits)."""
+    if x.std() == 0 or x_noised.std() == 0:
+        return 0.0
+    rho = float(np.corrcoef(x, x_noised)[0, 1])
+    rho = float(np.clip(rho, -0.999999, 0.999999))
+    return -0.5 * np.log2(1.0 - rho * rho)
+
+
+def trace_mutual_information(clean: np.ndarray, noised: np.ndarray,
+                             per_slice: bool = False
+                             ) -> "float | np.ndarray":
+    """I(X; X') between aligned clean/noised trace sets.
+
+    Parameters
+    ----------
+    clean / noised:
+        (N, T) matrices of one event's values across N runs; row i of
+        both matrices comes from the same run.
+    per_slice:
+        Return the per-slice MI vector instead of the mean.
+    """
+    clean = np.asarray(clean, dtype=np.float64)
+    noised = np.asarray(noised, dtype=np.float64)
+    if clean.shape != noised.shape or clean.ndim != 2:
+        raise ValueError(
+            f"clean and noised must be matching (N, T) matrices, got "
+            f"{clean.shape} and {noised.shape}")
+    if len(clean) < 3:
+        raise ValueError("need at least 3 runs for an MI estimate")
+    values = np.array([
+        _gaussian_mi(clean[:, t], noised[:, t])
+        for t in range(clean.shape[1])
+    ])
+    return values if per_slice else float(values.mean())

@@ -1,0 +1,41 @@
+"""The three HPC side-channel case-study attacks.
+
+Each attack follows the paper's abstraction (Section III-B): offline,
+the attacker profiles a template VM executing known secrets and collects
+HPC leakage traces; a model f: X -> Y is trained; online, the model
+predicts the victim's secret from its trace. The default monitored
+events are the paper's four: RETIRED_UOPS, LS_DISPATCH,
+MAB_ALLOCATION_BY_PIPE and DATA_CACHE_REFILLS_FROM_SYSTEM.
+"""
+
+from repro.attacks.collector import (
+    DEFAULT_ATTACK_EVENTS,
+    TraceCollector,
+    TraceDataset,
+)
+from repro.attacks.features import Standardizer, downsample_trace
+from repro.attacks.wfa import WebsiteFingerprintingAttack
+from repro.attacks.ksa import KeystrokeSniffingAttack
+from repro.attacks.mea import ModelExtractionAttack
+from repro.attacks.spa import KeyRecoveryAttack, KeyRecoveryResult
+from repro.attacks.projection import (
+    estimate_noise_directions,
+    project_out,
+    strip_noise,
+)
+
+__all__ = [
+    "DEFAULT_ATTACK_EVENTS",
+    "KeyRecoveryAttack",
+    "KeyRecoveryResult",
+    "KeystrokeSniffingAttack",
+    "ModelExtractionAttack",
+    "Standardizer",
+    "TraceCollector",
+    "TraceDataset",
+    "WebsiteFingerprintingAttack",
+    "downsample_trace",
+    "estimate_noise_directions",
+    "project_out",
+    "strip_noise",
+]

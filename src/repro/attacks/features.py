@@ -1,0 +1,65 @@
+"""Trace preprocessing shared by the attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Standardizer:
+    """Per-event-channel standardization fit on the training split."""
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, traces: np.ndarray) -> "Standardizer":
+        """Fit channel statistics on (N, E, T) traces."""
+        if traces.ndim != 3:
+            raise ValueError(f"traces must be (N, E, T), got {traces.shape}")
+        self.mean = traces.mean(axis=(0, 2), keepdims=True)
+        self.std = traces.std(axis=(0, 2), keepdims=True) + 1e-9
+        return self
+
+    def transform(self, traces: np.ndarray) -> np.ndarray:
+        """Apply the fitted normalization."""
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer used before fit()")
+        return (traces - self.mean) / self.std
+
+    def fit_transform(self, traces: np.ndarray) -> np.ndarray:
+        return self.fit(traces).transform(traces)
+
+
+def downsample_trace(traces: np.ndarray, factor: int) -> np.ndarray:
+    """Average-pool (N, E, T) traces along time by ``factor``.
+
+    3000 raw 1 ms slices are overkill for the classifiers; pooling keeps
+    the phase structure while shrinking the input (the paper's CNN does
+    the equivalent with strided convolutions).
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return traces
+    n, e, t = traces.shape
+    t_out = t // factor
+    return traces[:, :, :t_out * factor].reshape(n, e, t_out, factor).mean(axis=3)
+
+
+def downsample_frame_labels(frame_labels: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample (N, T) frame labels by per-window majority vote."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return frame_labels
+    n, t = frame_labels.shape
+    t_out = t // factor
+    windows = frame_labels[:, :t_out * factor].reshape(n, t_out, factor)
+    num_classes = int(frame_labels.max()) + 1
+    # Majority vote via bincount per window.
+    out = np.empty((n, t_out), dtype=int)
+    for i in range(n):
+        for j in range(t_out):
+            out[i, j] = int(np.bincount(windows[i, j],
+                                        minlength=num_classes).argmax())
+    return out

@@ -1,0 +1,22 @@
+"""Keystroke sniffing attack (paper Section III-D).
+
+The secret is the number of keystrokes K in [0, 9] typed during the
+window; the paper reuses the WFA CNN for this classification, and so do
+we.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.wfa import ClassificationAttack
+
+
+class KeystrokeSniffingAttack(ClassificationAttack):
+    """KSA: how many keystrokes landed in the sampling window?"""
+
+    def __init__(self, max_keys: int = 9, **kwargs) -> None:
+        kwargs.setdefault("head", "gap")  # counting is position-invariant
+        # Counting adjacent K apart needs a long schedule: the per-key
+        # GAP-feature difference is ~1/T of a burst response.
+        kwargs.setdefault("epochs", 60)
+        super().__init__(num_classes=max_keys + 1, **kwargs)
+        self.max_keys = max_keys

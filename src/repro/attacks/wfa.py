@@ -1,0 +1,155 @@
+"""Website fingerprinting attack (paper Section III-C).
+
+A compact CNN — four convolution layers and three fully connected
+layers with batch normalization and dropout, as in the paper — maps a
+4-event HPC trace of a page load to one of 45 websites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.collector import TraceDataset
+from repro.attacks.features import Standardizer, downsample_trace
+from repro.ml.layers import (
+    AvgPool1d, BatchNorm, Conv1d, Dense, Dropout, Flatten, GlobalAvgPool1d,
+    Relu)
+from repro.ml.metrics import accuracy_score
+from repro.ml.network import Network, TrainingHistory
+from repro.ml.optimizers import Adam
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+@dataclass
+class AttackResult:
+    """Training curves plus held-out accuracy."""
+
+    history: TrainingHistory
+    test_accuracy: float
+
+
+class ClassificationAttack:
+    """Shared CNN classification pipeline (used by WFA and KSA).
+
+    Parameters
+    ----------
+    num_classes:
+        Label cardinality (45 websites / 10 keystroke counts).
+    downsample:
+        Time-pooling factor applied before the CNN.
+    epochs / batch_size / lr:
+        Training hyperparameters.
+    """
+
+    def __init__(self, num_classes: int, downsample: int = 10,
+                 epochs: int = 40, batch_size: int = 32, lr: float = 1e-3,
+                 head: str = "flatten",
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        if head not in ("flatten", "gap"):
+            raise ValueError(f"head must be 'flatten' or 'gap', got {head!r}")
+        self.num_classes = num_classes
+        self.downsample = downsample
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.head = head
+        self._rng = ensure_rng(rng)
+        self.network: Network | None = None
+        self.standardizer = Standardizer()
+
+    def build_network(self, num_events: int, trace_len: int) -> Network:
+        """The paper's compact CNN: 4 conv + 3 FC with BN and dropout.
+
+        ``head='flatten'`` keeps temporal position information (WFA:
+        *where* a phase happens distinguishes sites); ``head='gap'``
+        ends with global average pooling, which is position-invariant
+        (KSA: the label is *how many* bursts occurred, wherever they
+        land in the window).
+        """
+        rngs = spawn_rng(self._rng, 8)
+        t = trace_len
+        if self.head == "gap":
+            # Counting head: stride-1 convs (no intermediate pooling —
+            # max pooling merges adjacent bursts and destroys counts)
+            # ending in global average pooling.
+            layers = [
+                Conv1d(num_events, 16, 7, padding=3, rng=rngs[0]),
+                BatchNorm(16), Relu(),
+                Conv1d(16, 32, 5, padding=2, rng=rngs[1]),
+                BatchNorm(32), Relu(),
+                Conv1d(32, 32, 3, padding=1, rng=rngs[2]),
+                BatchNorm(32), Relu(),
+                Conv1d(32, 64, 3, padding=1, rng=rngs[3]),
+                BatchNorm(64), Relu(),
+                GlobalAvgPool1d(),
+            ]
+            t_flat = 64
+        else:
+            # Average pooling (not max) between stages: the site
+            # fingerprint is per-phase activity *level*, which averaging
+            # preserves and denoises while max pooling discards.
+            layers = [
+                Conv1d(num_events, 16, 7, padding=3, rng=rngs[0]),
+                BatchNorm(16), Relu(), AvgPool1d(2),
+                Conv1d(16, 32, 5, padding=2, rng=rngs[1]),
+                BatchNorm(32), Relu(), AvgPool1d(2),
+                Conv1d(32, 32, 3, padding=1, rng=rngs[2]),
+                BatchNorm(32), Relu(), AvgPool1d(2),
+                Conv1d(32, 64, 3, padding=1, rng=rngs[3]),
+                BatchNorm(64), Relu(), AvgPool1d(2),
+                Flatten(),
+            ]
+            t_flat = 64 * (t // 16)
+        layers.extend([
+            Dense(t_flat, 128, rng=rngs[4]), Relu(), Dropout(0.4, rng=rngs[5]),
+            Dense(128, 64, rng=rngs[6]), Relu(),
+            Dense(64, self.num_classes, rng=rngs[7]),
+        ])
+        return Network(layers)
+
+    def _prepare(self, traces: np.ndarray, fit: bool) -> np.ndarray:
+        pooled = downsample_trace(traces, self.downsample)
+        if fit:
+            return self.standardizer.fit_transform(pooled)
+        return self.standardizer.transform(pooled)
+
+    def train(self, train_set: TraceDataset,
+              val_set: TraceDataset) -> TrainingHistory:
+        """Fit the CNN; returns the training curves (paper Fig. 1)."""
+        x_train = self._prepare(train_set.traces, fit=True)
+        x_val = self._prepare(val_set.traces, fit=False)
+        self.network = self.build_network(x_train.shape[1], x_train.shape[2])
+        return self.network.fit(
+            x_train, train_set.labels, x_val, val_set.labels,
+            epochs=self.epochs, batch_size=self.batch_size,
+            optimizer=Adam(lr=self.lr), lr_decay=0.97, rng=self._rng)
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Predict labels for raw (N, E, T) traces."""
+        if self.network is None:
+            raise RuntimeError("attack model is not trained yet")
+        return self.network.predict(self._prepare(traces, fit=False))
+
+    def evaluate(self, test_set: TraceDataset) -> float:
+        """Held-out attack accuracy."""
+        return accuracy_score(test_set.labels, self.predict(test_set.traces))
+
+    def run(self, dataset: TraceDataset, test_set: TraceDataset | None = None,
+            train_fraction: float = 0.7) -> AttackResult:
+        """Train/validate on ``dataset``, test on ``test_set`` (or val)."""
+        train_set, val_set = dataset.split(train_fraction, rng=self._rng)
+        history = self.train(train_set, val_set)
+        target = test_set if test_set is not None else val_set
+        return AttackResult(history=history,
+                            test_accuracy=self.evaluate(target))
+
+
+class WebsiteFingerprintingAttack(ClassificationAttack):
+    """WFA: which of the 45 websites did the victim VM load?"""
+
+    def __init__(self, num_sites: int = 45, **kwargs) -> None:
+        super().__init__(num_classes=num_sites, **kwargs)

@@ -1,0 +1,264 @@
+"""Command-line interface: the Aegis workflow end to end.
+
+Subcommands mirror the paper's workflow::
+
+    repro-aegis profile --workload website          # offline stage 1
+    repro-aegis fuzz --budget 2000                  # offline stage 2
+    repro-aegis deploy --epsilon 0.5 -o aegis.json  # full offline pipeline
+    repro-aegis attack --attack wfa                 # undefended attack
+    repro-aegis attack --attack wfa --artifact aegis.json  # defended
+
+Every command accepts ``--seed`` for reproducibility and prints
+human-readable summaries to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_workload(name: str):
+    from repro.workloads import DnnWorkload, KeystrokeWorkload, WebsiteWorkload
+    workloads = {
+        "website": WebsiteWorkload,
+        "keystroke": KeystrokeWorkload,
+        "dnn": DnnWorkload,
+    }
+    try:
+        return workloads[name]()
+    except KeyError as exc:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(workloads)}"
+        ) from exc
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed (default 0)")
+    parser.add_argument("--processor", default="amd-epyc-7252",
+                        help="processor model (default amd-epyc-7252)")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the Application Profiler and print the event ranking."""
+    from repro.core.profiler import ApplicationProfiler
+    workload = _build_workload(args.workload)
+    secrets = workload.secrets[:args.secrets] if args.secrets else None
+    profiler = ApplicationProfiler(
+        workload, processor_model=args.processor,
+        runs_per_secret=args.runs, rng=args.seed)
+    report = profiler.profile(secrets=secrets)
+    warmup = report.warmup
+    print(f"warm-up: {warmup.total_events} events -> "
+          f"{warmup.surviving_count} responsive "
+          f"({warmup.surviving_fraction:.1%})")
+    print(f"simulated profiling cost: "
+          f"{report.total_simulated_hours:.2f} hours")
+    print(f"top {args.top} vulnerable events:")
+    for name, mi in report.ranking.top(args.top):
+        print(f"  {name:<44s} I(Y;X) = {mi:.3f} bits")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run an Event Fuzzer campaign and print the summary."""
+    from repro.core.fuzzer import EventFuzzer
+    from repro.cpu.events import processor_catalog
+    catalog = processor_catalog(args.processor)
+    events = np.flatnonzero(catalog.guest_sensitive)
+    if args.events:
+        events = events[:args.events]
+    fuzzer = EventFuzzer(processor_model=args.processor,
+                         gadget_budget=args.budget, rng=args.seed)
+    report = fuzzer.fuzz(events)
+    print(f"cleanup: {len(report.cleanup.legal)} of "
+          f"{report.cleanup.total_variants} variants legal "
+          f"({report.cleanup.legal_fraction:.1%})")
+    print(f"tested {report.gadgets_tested:,} gadgets over "
+          f"{report.events_fuzzed} events "
+          f"(space: {report.search_space_size:,})")
+    for step, seconds in report.step_seconds.items():
+        print(f"  {step:<24s} {seconds:8.2f} s")
+    stats = report.gadget_count_stats()
+    print(f"gadgets/event: mean {stats['mean']:.0f} "
+          f"median {stats['median']:.0f} max {stats['max']:.0f}")
+    print(f"covering set: {len(report.covering_set)} gadgets cover "
+          f"{sum(len(v) for v in report.covering_set.values())} events")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Run the full offline pipeline and save the deployment artifact."""
+    from repro.core import Aegis
+    from repro.core.artifacts import DeploymentArtifact
+    workload = _build_workload(args.workload)
+    secrets = workload.secrets[:args.secrets] if args.secrets else None
+    aegis = Aegis(workload, processor_model=args.processor,
+                  mechanism=args.mechanism, epsilon=args.epsilon,
+                  runs_per_secret=args.runs, gadget_budget=args.budget,
+                  rng=args.seed)
+    deployment = aegis.deploy(secrets=secrets)
+    artifact = DeploymentArtifact.from_deployment(deployment)
+    artifact.save(args.output)
+    print(f"profiled {len(artifact.vulnerable_events)} vulnerable events")
+    print(f"covering set: {len(artifact.covering_gadgets)} gadgets")
+    print(f"calibrated sensitivity: {artifact.sensitivity:.4g} "
+          f"counts/slice")
+    print(f"privacy guarantee: "
+          f"{deployment.obfuscator.privacy_guarantee}")
+    print(f"artifact written to {args.output}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Mount one of the case-study attacks, optionally defended."""
+    from repro.attacks import (
+        KeystrokeSniffingAttack,
+        ModelExtractionAttack,
+        TraceCollector,
+        WebsiteFingerprintingAttack,
+    )
+    obfuscator = None
+    if args.artifact:
+        from repro.core.artifacts import DeploymentArtifact
+        obfuscator = DeploymentArtifact.load(args.artifact) \
+            .build_obfuscator(rng=args.seed + 1)
+    if args.attack == "wfa":
+        workload = _build_workload("website")
+        secrets = workload.secrets[:args.secrets or 10]
+        collector = TraceCollector(workload, duration_s=3.0,
+                                   slice_s=args.slice, rng=args.seed,
+                                   obfuscator=obfuscator)
+        dataset = collector.collect(args.runs, secrets=secrets)
+        attack = WebsiteFingerprintingAttack(
+            num_sites=len(secrets), downsample=2, epochs=args.epochs,
+            batch_size=16, rng=args.seed + 2)
+        accuracy = attack.run(dataset).test_accuracy
+        guess = 1.0 / len(secrets)
+    elif args.attack == "ksa":
+        workload = _build_workload("keystroke")
+        collector = TraceCollector(workload, duration_s=3.0,
+                                   slice_s=args.slice, rng=args.seed,
+                                   obfuscator=obfuscator)
+        dataset = collector.collect(args.runs)
+        attack = KeystrokeSniffingAttack(downsample=2, epochs=args.epochs,
+                                         rng=args.seed + 2)
+        accuracy = attack.run(dataset).test_accuracy
+        guess = 0.1
+    elif args.attack == "mea":
+        workload = _build_workload("dnn")
+        secrets = workload.secrets[:args.secrets or 10]
+        collector = TraceCollector(workload, duration_s=3.0,
+                                   slice_s=min(args.slice, 0.004),
+                                   rng=args.seed, obfuscator=obfuscator)
+        dataset = collector.collect(args.runs, secrets=secrets,
+                                    with_frames=True)
+        attack = ModelExtractionAttack(downsample=2, epochs=args.epochs,
+                                       rng=args.seed + 2)
+        accuracy = attack.run(dataset).test_sequence_accuracy
+        guess = 0.0
+    else:
+        raise SystemExit(f"unknown attack {args.attack!r}")
+    label = "defended" if obfuscator else "undefended"
+    print(f"{args.attack.upper()} {label} accuracy: {accuracy:.3f} "
+          f"(random guess: {guess:.3f})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a markdown report for a deployment artifact."""
+    from repro.analysis.report import deployment_report
+    from repro.core.artifacts import DeploymentArtifact
+    artifact = DeploymentArtifact.load(args.artifact)
+    text = deployment_report(artifact, window_slices=args.window_slices)
+    if args.output:
+        import pathlib
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aegis",
+        description="Aegis: HPC side-channel attacks and the DP defense "
+                    "on a simulated SEV platform")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="run the Application Profiler")
+    _add_common(p)
+    p.add_argument("--workload", default="website",
+                   choices=("website", "keystroke", "dnn"))
+    p.add_argument("--secrets", type=int, default=8,
+                   help="number of secrets to profile (0 = all)")
+    p.add_argument("--runs", type=int, default=6,
+                   help="profiling runs per secret")
+    p.add_argument("--top", type=int, default=8,
+                   help="vulnerable events to print")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("fuzz", help="run an Event Fuzzer campaign")
+    _add_common(p)
+    p.add_argument("--budget", type=int, default=2000,
+                   help="gadget pairs to sample")
+    p.add_argument("--events", type=int, default=0,
+                   help="limit fuzzed events (0 = all guest-sensitive)")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("deploy",
+                       help="full offline pipeline -> artifact JSON")
+    _add_common(p)
+    p.add_argument("--workload", default="website",
+                   choices=("website", "keystroke", "dnn"))
+    p.add_argument("--mechanism", default="laplace",
+                   choices=("laplace", "dstar"))
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--secrets", type=int, default=8)
+    p.add_argument("--runs", type=int, default=6)
+    p.add_argument("--budget", type=int, default=1000)
+    p.add_argument("-o", "--output", default="aegis-artifact.json")
+    p.set_defaults(func=cmd_deploy)
+
+    p = sub.add_parser("attack", help="mount a case-study attack")
+    _add_common(p)
+    p.add_argument("--attack", default="wfa",
+                   choices=("wfa", "ksa", "mea"))
+    p.add_argument("--artifact", default="",
+                   help="deployment artifact JSON; enables the defense")
+    p.add_argument("--secrets", type=int, default=0,
+                   help="number of secrets (0 = attack default)")
+    p.add_argument("--runs", type=int, default=16,
+                   help="traces per secret")
+    p.add_argument("--epochs", type=int, default=30)
+    p.add_argument("--slice", type=float, default=0.01,
+                   help="monitor sampling interval in seconds")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("report",
+                       help="render a deployment artifact as markdown")
+    p.add_argument("--artifact", required=True,
+                   help="deployment artifact JSON")
+    p.add_argument("--window-slices", type=int, default=3000,
+                   help="slices per monitoring window for the budget "
+                        "composition statement")
+    p.add_argument("-o", "--output", default="",
+                   help="write to a file instead of stdout")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

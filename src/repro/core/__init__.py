@@ -1,0 +1,36 @@
+"""Aegis — the paper's primary contribution.
+
+Three modules compose the defense (paper Fig. 2):
+
+- :mod:`repro.core.profiler` (offline): profile the protected
+  application against every HPC event, filter the responsive ones, rank
+  them by mutual information with the secret.
+- :mod:`repro.core.fuzzer` (offline): grammar-based fuzzing over the ISA
+  to find instruction gadgets that perturb each vulnerable event.
+- :mod:`repro.core.obfuscator` (online): inject differential-privacy
+  calibrated amounts of those gadgets into the VM's execution flow.
+
+:class:`repro.core.aegis.Aegis` wires them into the end-to-end pipeline.
+"""
+
+from repro.core.profiler import ApplicationProfiler, ProfilerReport
+from repro.core.fuzzer import EventFuzzer, FuzzingReport, Gadget
+from repro.core.obfuscator import (
+    DstarMechanism,
+    EventObfuscator,
+    LaplaceMechanism,
+)
+from repro.core.aegis import Aegis, AegisDeployment
+
+__all__ = [
+    "Aegis",
+    "AegisDeployment",
+    "ApplicationProfiler",
+    "DstarMechanism",
+    "EventFuzzer",
+    "EventObfuscator",
+    "FuzzingReport",
+    "Gadget",
+    "LaplaceMechanism",
+    "ProfilerReport",
+]

@@ -1,0 +1,139 @@
+"""Deployment artifacts: persist the offline stage, load it online.
+
+The paper's workflow is split: profiling and fuzzing run once on a
+template server; their results ship into the production VM where the
+Event Obfuscator runs. This module serializes that hand-off — the
+vulnerable-event ranking, the covering gadget set with its signal
+profile, and the obfuscator calibration — to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.obfuscator.obfuscator import EventObfuscator
+from repro.cpu.signals import NUM_SIGNALS
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class DeploymentArtifact:
+    """Everything the in-VM online stage needs from the offline stage."""
+
+    processor_model: str
+    vulnerable_events: list[str]
+    mutual_information_bits: list[float]
+    covering_gadgets: list[str]
+    segment_signals: np.ndarray
+    reference_event: str
+    sensitivity: float
+    mechanism: str
+    epsilon: float
+    clip_bound: float
+
+    def __post_init__(self) -> None:
+        self.segment_signals = np.asarray(self.segment_signals,
+                                          dtype=np.float64)
+        if self.segment_signals.ndim == 1:
+            self.segment_signals = self.segment_signals[None, :]
+        if self.segment_signals.ndim != 2 \
+                or self.segment_signals.shape[1] != NUM_SIGNALS:
+            raise ValueError(
+                f"segment_signals must have shape ({NUM_SIGNALS},) or "
+                f"(K, {NUM_SIGNALS})")
+        if len(self.vulnerable_events) != len(self.mutual_information_bits):
+            raise ValueError(
+                "vulnerable_events and mutual_information_bits must align")
+
+    # -- JSON round trip ---------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        payload = {
+            "version": ARTIFACT_VERSION,
+            "processor_model": self.processor_model,
+            "vulnerable_events": self.vulnerable_events,
+            "mutual_information_bits": [
+                float(v) for v in self.mutual_information_bits],
+            "covering_gadgets": self.covering_gadgets,
+            "segment_signals": self.segment_signals.tolist(),
+            "reference_event": self.reference_event,
+            "sensitivity": float(self.sensitivity),
+            "mechanism": self.mechanism,
+            "epsilon": float(self.epsilon),
+            "clip_bound": (None if np.isinf(self.clip_bound)
+                           else float(self.clip_bound)),
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentArtifact":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported artifact version {version!r} "
+                f"(expected {ARTIFACT_VERSION})")
+        clip = payload.get("clip_bound")
+        return cls(
+            processor_model=payload["processor_model"],
+            vulnerable_events=list(payload["vulnerable_events"]),
+            mutual_information_bits=list(
+                payload["mutual_information_bits"]),
+            covering_gadgets=list(payload["covering_gadgets"]),
+            segment_signals=np.array(payload["segment_signals"]),
+            reference_event=payload["reference_event"],
+            sensitivity=float(payload["sensitivity"]),
+            mechanism=payload["mechanism"],
+            epsilon=float(payload["epsilon"]),
+            clip_bound=(np.inf if clip is None else float(clip)),
+        )
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        """Write the artifact to ``path``."""
+        pathlib.Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "DeploymentArtifact":
+        """Read an artifact from ``path``."""
+        return cls.from_json(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+
+    # -- construction / instantiation ----------------------------------
+
+    @classmethod
+    def from_deployment(cls, deployment) -> "DeploymentArtifact":
+        """Build the artifact from an :class:`~repro.core.aegis.AegisDeployment`."""
+        ranking = deployment.profiler_report.ranking
+        obfuscator = deployment.obfuscator
+        return cls(
+            processor_model=deployment.profiler_report.processor_model,
+            vulnerable_events=list(ranking.event_names),
+            mutual_information_bits=[
+                float(v) for v in ranking.mutual_information_bits],
+            covering_gadgets=[
+                g.name for g in deployment.fuzzing_report.covering_set],
+            segment_signals=obfuscator.injector.components,
+            reference_event=obfuscator.reference_event,
+            sensitivity=obfuscator.mechanism.sensitivity,
+            mechanism=("dstar" if "d*" in obfuscator.privacy_guarantee
+                       else "laplace"),
+            epsilon=obfuscator.epsilon,
+            clip_bound=obfuscator.injector.clip_bound,
+        )
+
+    def build_obfuscator(self, rng=None) -> EventObfuscator:
+        """Instantiate the online Event Obfuscator from this artifact."""
+        return EventObfuscator(
+            mechanism=self.mechanism, epsilon=self.epsilon,
+            sensitivity=self.sensitivity,
+            reference_event=self.reference_event,
+            processor_model=self.processor_model,
+            segment_signals=self.segment_signals,
+            clip_bound=self.clip_bound, rng=rng)

@@ -1,0 +1,36 @@
+"""Event Fuzzer (paper Section VI).
+
+Offline module: grammar-based fuzzing over the cleaned ISA to find
+instruction gadgets — a reset sequence followed by a trigger sequence —
+that reliably perturb each vulnerable HPC event. Pipeline: instruction
+cleanup -> code generation + execution -> result confirmation (multiple
+executions, repeated cold/hot triggers, gadget reordering) -> gadget
+filtering (clustering, best gadget, minimal covering set).
+"""
+
+from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.core.fuzzer.cleanup import InstructionCleaner, CleanupReport
+from repro.core.fuzzer.generator import ExecutionHarness, MeasuredDelta
+from repro.core.fuzzer.confirm import ConfirmationResult, GadgetConfirmer
+from repro.core.fuzzer.filtering import (
+    GadgetCluster,
+    GadgetFilter,
+    minimal_covering_set,
+)
+from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
+
+__all__ = [
+    "CleanupReport",
+    "ConfirmationResult",
+    "EventFuzzer",
+    "ExecutionHarness",
+    "FuzzingReport",
+    "Gadget",
+    "GadgetCluster",
+    "GadgetConfirmer",
+    "GadgetFilter",
+    "GadgetGrammar",
+    "InstructionCleaner",
+    "MeasuredDelta",
+    "minimal_covering_set",
+]

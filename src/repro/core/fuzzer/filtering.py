@@ -1,0 +1,90 @@
+"""Gadget filtering (paper Sections VI-F and VII-C).
+
+Confirmed gadgets are clustered by the extension/category signature of
+their reset and trigger sequences (properties that indicate the
+microarchitectural root cause), a representative and the
+highest-impact gadget are kept per event, and a greedy set cover
+extracts the smallest gadget set that perturbs every vulnerable event —
+the paper covers its 137 events with 43 gadgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fuzzer.confirm import ConfirmationResult
+from repro.core.fuzzer.grammar import Gadget
+
+
+@dataclass
+class GadgetCluster:
+    """Confirmed gadgets sharing one root-cause signature."""
+
+    signature: tuple
+    members: list[ConfirmationResult] = field(default_factory=list)
+
+    @property
+    def representative(self) -> ConfirmationResult:
+        """Highest-impact member (kept after filtering)."""
+        return max(self.members, key=lambda c: c.per_iteration_delta)
+
+
+class GadgetFilter:
+    """Cluster and reduce the confirmed gadget lists per event."""
+
+    def cluster(self, confirmed: list[ConfirmationResult]
+                ) -> list[GadgetCluster]:
+        """Group confirmations by gadget signature."""
+        clusters: dict[tuple, GadgetCluster] = {}
+        for result in confirmed:
+            signature = result.gadget.signature
+            cluster = clusters.get(signature)
+            if cluster is None:
+                cluster = GadgetCluster(signature=signature)
+                clusters[signature] = cluster
+            cluster.members.append(result)
+        return list(clusters.values())
+
+    def filter_event(self, confirmed: list[ConfirmationResult]
+                     ) -> list[ConfirmationResult]:
+        """One representative per cluster, sorted by impact."""
+        representatives = [c.representative for c in self.cluster(confirmed)]
+        representatives.sort(key=lambda c: -c.per_iteration_delta)
+        return representatives
+
+    def best_gadget(self, confirmed: list[ConfirmationResult]
+                    ) -> ConfirmationResult:
+        """The gadget causing the highest value change for the event."""
+        if not confirmed:
+            raise ValueError("no confirmed gadgets to choose from")
+        return max(confirmed, key=lambda c: c.per_iteration_delta)
+
+
+def minimal_covering_set(per_event: dict[int, list[ConfirmationResult]]
+                         ) -> dict[Gadget, list[int]]:
+    """Greedy set cover: fewest gadgets perturbing every event.
+
+    Returns a mapping from each chosen gadget to the events it covers.
+    Events with no confirmed gadget are (necessarily) left uncovered.
+    """
+    coverage: dict[str, tuple[Gadget, set[int]]] = {}
+    for event_index, confirmations in per_event.items():
+        for result in confirmations:
+            name = result.gadget.name
+            if name not in coverage:
+                coverage[name] = (result.gadget, set())
+            coverage[name][1].add(event_index)
+    uncovered = {event for event, confs in per_event.items() if confs}
+    chosen: dict[Gadget, list[int]] = {}
+    while uncovered:
+        best_name = max(coverage,
+                        key=lambda n: (len(coverage[n][1] & uncovered),
+                                       -len(coverage[n][1])))
+        gadget, covers = coverage[best_name]
+        gained = covers & uncovered
+        if not gained:
+            break
+        chosen[gadget] = sorted(gained)
+        uncovered -= gained
+        del coverage[best_name]
+    return chosen

@@ -1,0 +1,197 @@
+"""The Event Fuzzer orchestrator (paper Fig. 5).
+
+Pipeline: (1) instruction cleanup, (2) gadget generation + execution
+with screening over every profiled event, (3) confirmation of the
+strongest candidates (multiple executions, repeated triggers,
+reordering), (4) filtering (clustering, best gadget, covering set).
+Per-step wall-clock times are recorded — the paper's Table III shows
+generation + execution dominating, which holds here too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
+from repro.core.fuzzer.confirm import ConfirmationResult, GadgetConfirmer
+from repro.core.fuzzer.filtering import GadgetFilter, minimal_covering_set
+from repro.core.fuzzer.generator import ExecutionHarness
+from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.cpu.core import Core
+from repro.isa.catalog import IsaCatalog, build_catalog
+from repro.isa.legality import MICROARCH_PROFILES, MicroArchProfile
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+@dataclass
+class FuzzingReport:
+    """Everything a fuzzing campaign produced."""
+
+    microarch: str
+    cleanup: CleanupReport
+    search_space_size: int
+    gadgets_tested: int
+    events_fuzzed: int
+    step_seconds: dict[str, float]
+    screened_per_event: dict[int, int]
+    confirmed_per_event: dict[int, list[ConfirmationResult]]
+    covering_set: dict[Gadget, list[int]] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.step_seconds.values())
+
+    @property
+    def throughput_gadgets_per_second(self) -> float:
+        """(gadget, event) evaluations per second of generation+execution."""
+        gen_time = self.step_seconds.get("generation_execution", 0.0)
+        if gen_time <= 0:
+            return 0.0
+        return self.gadgets_tested * self.events_fuzzed / gen_time
+
+    def gadget_count_stats(self) -> dict[str, float]:
+        """Usable-gadget-per-event statistics (paper Section VIII-B)."""
+        counts = np.array(list(self.screened_per_event.values()), dtype=float)
+        if counts.size == 0:
+            return {"mean": 0.0, "median": 0.0, "max": 0.0}
+        return {"mean": float(counts.mean()),
+                "median": float(np.median(counts)),
+                "max": float(counts.max())}
+
+    def most_fuzzed_event(self) -> int:
+        """Event index with the most usable gadgets."""
+        if not self.screened_per_event:
+            raise ValueError("no events were fuzzed")
+        return max(self.screened_per_event,
+                   key=lambda e: self.screened_per_event[e])
+
+
+class EventFuzzer:
+    """Runs a fuzzing campaign for a set of vulnerable HPC events.
+
+    Parameters
+    ----------
+    processor_model:
+        Event-catalog / core model to fuzz on.
+    microarch:
+        ISA microarchitecture profile (defaults to the matching one).
+    gadget_budget:
+        How many (reset, trigger) pairs to sample — real campaigns test
+        all ~11.6M pairs over hours; the budget makes laptop-scale runs
+        possible while exercising the identical pipeline.
+    confirm_per_event:
+        How many top-screened candidates get full confirmation.
+    """
+
+    _MODEL_TO_MICROARCH = {
+        "amd-epyc-7252": "amd-epyc-7252",
+        "amd-epyc-7313p": "amd-epyc-7313p",
+        "intel-xeon-e5-1650": "intel-xeon-e5-1650",
+        "intel-xeon-e5-4617": "intel-xeon-e5-4617",
+    }
+
+    def __init__(self, processor_model: str = "amd-epyc-7252",
+                 microarch: MicroArchProfile | None = None,
+                 isa_catalog: IsaCatalog | None = None,
+                 gadget_budget: int = 2000, confirm_per_event: int = 8,
+                 unroll: int = 16,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if gadget_budget < 1:
+            raise ValueError(f"gadget_budget must be >= 1, got {gadget_budget}")
+        root = ensure_rng(rng)
+        core_rng, grammar_rng, harness_rng, confirm_rng = spawn_rng(root, 4)
+        self.processor_model = processor_model
+        self.isa_catalog = isa_catalog or build_catalog()
+        if microarch is None:
+            name = self._MODEL_TO_MICROARCH.get(processor_model,
+                                                "amd-epyc-7252")
+            microarch = MICROARCH_PROFILES[name]
+        self.microarch = microarch
+        self.gadget_budget = gadget_budget
+        self.confirm_per_event = confirm_per_event
+        self.core = Core(processor_model, rng=core_rng)
+        self.harness = ExecutionHarness(self.core, unroll=unroll,
+                                        rng=harness_rng)
+        self._grammar_rng = grammar_rng
+        self.confirmer = GadgetConfirmer(self.harness, rng=confirm_rng)
+        self.filter = GadgetFilter()
+
+    def _screen_threshold(self, event_indices: np.ndarray) -> np.ndarray:
+        """Minimum hot-path delta that flags a candidate per event."""
+        catalog = self.core.catalog
+        return (4.0 * catalog.noise_abs[event_indices]
+                + 0.5 * self.harness.unroll
+                * catalog.noise_rel[event_indices])
+
+    def fuzz(self, event_indices: "np.ndarray | list[int]") -> FuzzingReport:
+        """Run the four-step campaign for ``event_indices``."""
+        event_indices = np.asarray(event_indices, dtype=int)
+        if len(event_indices) == 0:
+            raise ValueError("event_indices must be non-empty")
+        step_seconds: dict[str, float] = {}
+
+        # Step 1: cleanup.
+        start = time.perf_counter()
+        cleaner = InstructionCleaner(self.isa_catalog, self.microarch)
+        cleanup = cleaner.run()
+        step_seconds["cleanup"] = time.perf_counter() - start
+
+        grammar = GadgetGrammar(cleanup.legal, rng=self._grammar_rng)
+
+        # Step 2: generation + execution (screening over all events).
+        start = time.perf_counter()
+        gadgets = grammar.sample_batch(self.gadget_budget)
+        thresholds = self._screen_threshold(event_indices)
+        screened: dict[int, list[tuple[float, Gadget]]] = {
+            int(e): [] for e in event_indices}
+        for gadget in gadgets:
+            measured = self.harness.measure_gadget(gadget, event_indices)
+            hits = measured.deltas > thresholds
+            for j in np.flatnonzero(hits):
+                event = int(event_indices[j])
+                screened[event].append((float(measured.deltas[j]), gadget))
+        step_seconds["generation_execution"] = time.perf_counter() - start
+
+        # Step 3: confirmation per event. Candidates mix the strongest
+        # screened deltas with a random sample of the remainder — pure
+        # top-by-delta favors heavyweight resets (CPUID-sized), which
+        # the lambda2 test then rejects for any-instruction events.
+        start = time.perf_counter()
+        pick_rng = ensure_rng(int(self._grammar_rng.integers(2**63)))
+        confirmed: dict[int, list[ConfirmationResult]] = {}
+        for event, candidates in screened.items():
+            candidates.sort(key=lambda pair: -pair[0])
+            head = candidates[:self.confirm_per_event // 2]
+            tail = candidates[self.confirm_per_event // 2:]
+            extra_count = min(len(tail),
+                              self.confirm_per_event - len(head))
+            if extra_count:
+                picks = pick_rng.choice(len(tail), size=extra_count,
+                                        replace=False)
+                head = head + [tail[int(i)] for i in picks]
+            results = [self.confirmer.confirm(gadget, event)
+                       for _, gadget in head]
+            confirmed[event] = self.confirmer.reorder_validate(results)
+        step_seconds["confirmation"] = time.perf_counter() - start
+
+        # Step 4: filtering (clustering + covering set).
+        start = time.perf_counter()
+        filtered = {event: self.filter.filter_event(results)
+                    for event, results in confirmed.items()}
+        covering = minimal_covering_set(filtered)
+        step_seconds["filtering"] = time.perf_counter() - start
+
+        return FuzzingReport(
+            microarch=self.microarch.name,
+            cleanup=cleanup,
+            search_space_size=grammar.search_space_size,
+            gadgets_tested=len(gadgets),
+            events_fuzzed=len(event_indices),
+            step_seconds=step_seconds,
+            screened_per_event={e: len(c) for e, c in screened.items()},
+            confirmed_per_event=filtered,
+            covering_set=covering,
+        )

@@ -1,0 +1,225 @@
+"""Code generation and execution (paper Section VI-D).
+
+The harness places gadget code on a dedicated page between a prolog and
+an epilog (saving registers, pointing every memory operand at a
+pre-allocated writable data page), serializes execution with CPUID
+around the measurement, reads the HPC registers with RDPMC, pins the
+process and isolates the core to suppress interrupt noise — each of the
+paper's measurement-stability techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fuzzer.grammar import Gadget
+from repro.cpu.core import Core
+from repro.isa.spec import Instruction, InstructionSpec, Program
+from repro.utils.rng import ensure_rng
+
+#: Callee-saved registers the prolog preserves.
+_CALLEE_SAVED = 6
+
+
+@dataclass
+class MeasuredDelta:
+    """One measurement: per-event count deltas plus raw execution data."""
+
+    deltas: np.ndarray
+    signals: np.ndarray
+    cycles: int
+
+
+class ExecutionHarness:
+    """Executes gadgets on a core and measures HPC event deltas.
+
+    Parameters
+    ----------
+    core:
+        The simulated core (its data/stack pages back memory operands).
+    unroll:
+        How many (reset + trigger) iterations one measurement executes;
+        lifts real effects above the counters' read noise.
+    fast:
+        When True, event deltas are computed from the recorded signal
+        vector for *all* requested events at once (equivalent to having
+        unlimited counter registers); when False, events are measured in
+        hardware groups of four via RDPMC, exactly as on real silicon.
+    """
+
+    def __init__(self, core: Core, unroll: int = 16, fast: bool = True,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if unroll < 1:
+            raise ValueError(f"unroll must be >= 1, got {unroll}")
+        self.core = core
+        self.unroll = unroll
+        self.fast = fast
+        self._rng = ensure_rng(rng)
+        self._push = self._find_spec("PUSH r64")
+        self._pop = self._find_spec("POP r64")
+        self._serialize = self._find_spec("CPUID")
+        core.configure_measurement_environment()
+        self.executions = 0
+
+    def _find_spec(self, name: str) -> InstructionSpec | None:
+        # The harness helpers come from the ISA catalog when available;
+        # a core without a catalog entry just skips that element.
+        from repro.isa.catalog import build_catalog
+        try:
+            return build_catalog().get(name)
+        except KeyError:
+            return None
+
+    # -- program construction ------------------------------------------
+
+    def _place(self, spec: InstructionSpec, address: int) -> Instruction:
+        mem = self.core.data_page.base if (spec.reads_memory
+                                           or spec.writes_memory
+                                           or "m" in spec.operand_form.value
+                                           ) else 0
+        return Instruction(spec=spec, address=address, mem_operand=mem,
+                           taken=True)
+
+    def build_program(self, body: list[InstructionSpec], repeats: int = 1,
+                      include_frame: bool = True) -> Program:
+        """Prolog + body*repeats + epilog, placed in the code page.
+
+        ``include_frame=False`` emits the bare body — used between
+        in-execution RDPMC reads, where the prolog/epilog counts would
+        pollute every per-iteration delta.
+        """
+        program = Program()
+        address = self.core.code_page.base
+        if include_frame and self._push is not None:
+            for _ in range(_CALLEE_SAVED):
+                program.append(self._place(self._push, address))
+                address += 4
+        if include_frame and self._serialize is not None:
+            program.append(self._place(self._serialize, address))
+            address += 4
+        for _ in range(repeats):
+            for spec in body:
+                program.append(self._place(spec, address))
+                address += 4
+        if include_frame and self._serialize is not None:
+            program.append(self._place(self._serialize, address))
+            address += 4
+        if include_frame and self._pop is not None:
+            for _ in range(_CALLEE_SAVED):
+                program.append(self._place(self._pop, address))
+                address += 4
+        return program
+
+    def measure_iterations(self, body: list[InstructionSpec],
+                           event_indices: np.ndarray,
+                           iterations: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-iteration deltas inside one repeated execution (Fig. 6).
+
+        The body runs ``iterations`` times back to back with the
+        counters read between iterations (microarchitectural state is
+        deliberately NOT reset — that is exactly what the repeated-
+        trigger test exploits). Returns ``(per_iteration, cumulative)``
+        with shapes (iterations, E) and (E,). An empty body measures
+        pure read noise.
+        """
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        event_indices = np.asarray(event_indices, dtype=int)
+        catalog = self.core.catalog
+        noise_abs = catalog.noise_abs[event_indices]
+        # RDPMC reads the register exactly; the non-determinism is rare
+        # external interference (residual interrupts on the isolated
+        # core) that *adds* counts between reads. This is precisely the
+        # disturbance the paper's median-of-multiple-executions step
+        # filters out.
+        interference_prob = 0.03
+        cumulative = np.zeros(len(event_indices))
+        readings = np.empty((iterations + 1, len(event_indices)))
+        readings[0] = cumulative
+        for i in range(iterations):
+            if body:
+                program = self.build_program(body, repeats=1,
+                                             include_frame=False)
+                result = self.core.execute_program(program, update_hpc=False)
+                true_deltas = np.atleast_1d(catalog.counts_for(
+                    result.signals, rng=None, event_indices=event_indices))
+                cumulative = cumulative + true_deltas
+            polluted = self._rng.random(len(event_indices)) \
+                < interference_prob
+            if polluted.any():
+                cumulative = cumulative + polluted * self._rng.poisson(
+                    noise_abs)
+            readings[i + 1] = cumulative
+            self.executions += 1
+        per_iteration = np.diff(readings, axis=0)
+        return per_iteration, readings[-1] - readings[0]
+
+    # -- measurement -----------------------------------------------------
+
+    def measure_body(self, body: list[InstructionSpec],
+                     event_indices: np.ndarray,
+                     repeats: int | None = None) -> MeasuredDelta:
+        """Execute a body and return per-event deltas for it."""
+        event_indices = np.asarray(event_indices, dtype=int)
+        repeats = repeats if repeats is not None else self.unroll
+        program = self.build_program(body, repeats=repeats)
+        if self.fast:
+            result = self.core.execute_program(program, update_hpc=False)
+            deltas = self.core.catalog.counts_for(
+                result.signals, rng=self._rng, event_indices=event_indices)
+            deltas = np.atleast_1d(deltas)
+        else:
+            deltas = np.empty(len(event_indices))
+            hpc = self.core.hpc
+            groups = [event_indices[i:i + hpc.num_registers]
+                      for i in range(0, len(event_indices),
+                                     hpc.num_registers)]
+            signals_total = None
+            cycles_total = 0
+            for g, group in enumerate(groups):
+                for slot, event in enumerate(group):
+                    hpc.program(slot, int(event))
+                before = np.array([hpc.rdpmc(s) for s in range(len(group))])
+                result = self.core.execute_program(program, update_hpc=True)
+                after = np.array([hpc.rdpmc(s) for s in range(len(group))])
+                start = g * hpc.num_registers
+                deltas[start:start + len(group)] = after - before
+                signals_total = (result.signals if signals_total is None
+                                 else signals_total + result.signals)
+                cycles_total += result.cycles
+            self.executions += len(groups)
+            return MeasuredDelta(deltas=deltas, signals=signals_total,
+                                 cycles=cycles_total)
+        self.executions += 1
+        return MeasuredDelta(deltas=deltas, signals=result.signals,
+                             cycles=result.cycles)
+
+    def measure_gadget(self, gadget: Gadget, event_indices: np.ndarray,
+                       repeats: int | None = None) -> MeasuredDelta:
+        """Hot path: (reset + trigger) * repeats."""
+        return self.measure_body(list(gadget.reset) + list(gadget.trigger),
+                                 event_indices, repeats)
+
+    def measure_reset_only(self, gadget: Gadget, event_indices: np.ndarray,
+                           repeats: int | None = None) -> MeasuredDelta:
+        """Cold path: reset * repeats (paper Fig. 6)."""
+        return self.measure_body(list(gadget.reset), event_indices, repeats)
+
+    def gadget_signal_profile(self, gadget: Gadget,
+                              iterations: int = 8) -> np.ndarray:
+        """Mean per-iteration signal vector of the gadget.
+
+        The Event Obfuscator uses this to convert a differential-privacy
+        noise value (in event counts) into a number of gadget
+        repetitions.
+        """
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        program = self.build_program(
+            list(gadget.reset) + list(gadget.trigger), repeats=iterations)
+        result = self.core.execute_program(program, update_hpc=False)
+        overhead = self.build_program([], repeats=0)
+        base = self.core.execute_program(overhead, update_hpc=False)
+        return (result.signals - base.signals) / iterations

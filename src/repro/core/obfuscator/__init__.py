@@ -1,0 +1,44 @@
+"""Event Obfuscator (paper Section VII).
+
+Online module living inside the victim VM: a kernel module monitors the
+HPC values (needed by the d* mechanism) and signals a userspace daemon,
+whose noise calculator draws differential-privacy noise from a
+precomputed buffer and whose injector executes the corresponding number
+of instruction-gadget repetitions on the protected vCPU.
+"""
+
+from repro.core.obfuscator.dp import (
+    DpMechanism,
+    DstarMechanism,
+    LaplaceMechanism,
+    laplace_sample,
+)
+from repro.core.obfuscator.noise import NoiseCalculator
+from repro.core.obfuscator.injector import (
+    InjectionReport,
+    NoiseInjector,
+    RandomNoiseInjector,
+    SecretTiedNoise,
+    default_noise_components,
+    default_noise_segment,
+)
+from repro.core.obfuscator.kernel_module import KernelModule, NetlinkChannel
+from repro.core.obfuscator.daemon import UserspaceDaemon
+from repro.core.obfuscator.obfuscator import EventObfuscator, estimate_sensitivity
+
+__all__ = [
+    "DpMechanism",
+    "DstarMechanism",
+    "EventObfuscator",
+    "InjectionReport",
+    "KernelModule",
+    "LaplaceMechanism",
+    "NetlinkChannel",
+    "NoiseCalculator",
+    "NoiseInjector",
+    "RandomNoiseInjector",
+    "SecretTiedNoise",
+    "UserspaceDaemon",
+    "estimate_sensitivity",
+    "laplace_sample",
+]

@@ -1,0 +1,76 @@
+"""The userspace daemon (paper Fig. 7).
+
+Two components: the *noise calculator* (buffered Laplace draws, or the
+d* reconstruction fed by HPC samples streamed from the kernel module)
+and the *noise injector* (gadget repetitions on the protected vCPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.obfuscator.dp import DpMechanism, DstarMechanism, LaplaceMechanism
+from repro.core.obfuscator.injector import InjectionReport, NoiseInjector
+from repro.core.obfuscator.kernel_module import KernelModule
+from repro.core.obfuscator.noise import NoiseCalculator
+from repro.utils.rng import ensure_rng
+
+
+class UserspaceDaemon:
+    """Computes per-slice noise and drives the injector.
+
+    Parameters
+    ----------
+    mechanism:
+        The DP mechanism generating the noise.
+    injector:
+        Converts noise counts into gadget repetitions.
+    kernel_module:
+        Source of live HPC samples (required by the d* mechanism).
+    """
+
+    def __init__(self, mechanism: DpMechanism, injector: NoiseInjector,
+                 kernel_module: KernelModule | None = None,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        self.mechanism = mechanism
+        self.injector = injector
+        self.kernel_module = kernel_module or KernelModule()
+        self._rng = ensure_rng(rng)
+        # The Laplace path pre-buffers draws at the mechanism's scale.
+        scale = mechanism.sensitivity / mechanism.epsilon
+        self.calculator = NoiseCalculator(scale, rng=self._rng)
+        self.last_report: InjectionReport | None = None
+
+    @property
+    def needs_hpc_monitoring(self) -> bool:
+        """d* anchors its reconstruction on live values; Laplace doesn't."""
+        return isinstance(self.mechanism, DstarMechanism)
+
+    def start(self) -> None:
+        """Receive the kernel module's launch signal."""
+        self.kernel_module.launch(monitor_hpcs=self.needs_hpc_monitoring)
+
+    def compute_noise(self, reference_values: np.ndarray) -> np.ndarray:
+        """Per-slice noise for one window of reference-event values."""
+        reference_values = np.asarray(reference_values, dtype=np.float64)
+        if self.needs_hpc_monitoring:
+            if not self.kernel_module.running:
+                self.start()
+            # Stream the readings through the netlink channel, exactly
+            # as the kernel module would deliver them.
+            for value in reference_values:
+                self.kernel_module.on_hpc_read(float(value))
+            samples = self.kernel_module.channel.drain()
+            values = np.array([s.value for s in samples])
+            return self.mechanism.noise_sequence(values, rng=self._rng)
+        if isinstance(self.mechanism, LaplaceMechanism):
+            # Serve Laplace noise from the precomputed buffer.
+            return self.calculator.take(len(reference_values))
+        return self.mechanism.noise_sequence(reference_values, rng=self._rng)
+
+    def obfuscate(self, matrix: np.ndarray,
+                  reference_values: np.ndarray) -> np.ndarray:
+        """Compute noise for the window and inject it."""
+        noise = self.compute_noise(reference_values)
+        obfuscated, self.last_report = self.injector.inject(matrix, noise)
+        return obfuscated

@@ -1,0 +1,87 @@
+"""The in-guest kernel module and its netlink channel (paper Fig. 7).
+
+The kernel module is the controller: it receives the customer's launch
+signal, wakes the userspace daemon, and — when the d* mechanism is
+selected — reads the live HPC values with RDPMC and streams them to the
+daemon over a netlink socket (noise generation is computation-heavy and
+stays in userspace).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HpcSample:
+    """One RDPMC reading forwarded to the daemon."""
+
+    slice_index: int
+    value: float
+
+
+class NetlinkChannel:
+    """An in-guest kernel->user message queue (netlink socket model)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque[HpcSample] = deque()
+        self.dropped = 0
+
+    def send(self, sample: HpcSample) -> bool:
+        """Enqueue a sample; drops (and counts) on overflow."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(sample)
+        return True
+
+    def receive(self) -> HpcSample | None:
+        """Dequeue the oldest sample, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def drain(self) -> list[HpcSample]:
+        """Dequeue everything."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class KernelModule:
+    """Controller side of the Event Obfuscator."""
+
+    def __init__(self, channel: NetlinkChannel | None = None) -> None:
+        self.channel = channel or NetlinkChannel()
+        self.running = False
+        self.monitor_hpcs = False
+        self._slice_index = 0
+
+    def launch(self, monitor_hpcs: bool) -> None:
+        """Customer launch signal: wake the daemon, start monitoring.
+
+        ``monitor_hpcs`` is True for the d* mechanism (it needs live
+        values) and False for Laplace.
+        """
+        self.running = True
+        self.monitor_hpcs = monitor_hpcs
+        self._slice_index = 0
+
+    def stop(self) -> None:
+        """Stop the protection service."""
+        self.running = False
+
+    def on_hpc_read(self, value: float) -> None:
+        """RDPMC tick: forward the reading to the daemon when needed."""
+        if not self.running:
+            raise RuntimeError("kernel module not launched")
+        if self.monitor_hpcs:
+            self.channel.send(HpcSample(self._slice_index, float(value)))
+        self._slice_index += 1

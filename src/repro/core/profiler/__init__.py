@@ -1,0 +1,31 @@
+"""Application Profiler (paper Section V).
+
+Offline module: profiles the protected application inside a template VM
+while the (friendly) host measures every available HPC event, discards
+the events that do not respond to guest activity (warm-up profiling),
+and ranks the survivors by mutual information between their values and
+the application secret.
+"""
+
+from repro.core.profiler.warmup import WarmupProfiler, WarmupReport
+from repro.core.profiler.pca import first_principal_component
+from repro.core.profiler.gaussian import (
+    GaussianClassModel,
+    fit_class_gaussians,
+    mutual_information,
+)
+from repro.core.profiler.ranking import EventRanking, VulnerabilityRanker
+from repro.core.profiler.profiler import ApplicationProfiler, ProfilerReport
+
+__all__ = [
+    "ApplicationProfiler",
+    "EventRanking",
+    "GaussianClassModel",
+    "ProfilerReport",
+    "VulnerabilityRanker",
+    "WarmupProfiler",
+    "WarmupReport",
+    "first_principal_component",
+    "fit_class_gaussians",
+    "mutual_information",
+]

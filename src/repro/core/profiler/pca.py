@@ -1,0 +1,51 @@
+"""Principal component analysis for trace feature extraction.
+
+The profiler reduces each event's time-series trace to one scalar by
+projecting onto the first principal component of the per-event trace
+matrix (paper Section V-B), preserving most of the variance while making
+the Gaussian modelling univariate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def first_principal_component(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """First PC scores and loading vector of ``data`` (rows = samples).
+
+    Returns ``(scores, component)`` where ``scores`` has one entry per
+    row and ``component`` is the unit-norm loading vector. The component
+    sign is fixed (largest-magnitude entry positive) so results are
+    deterministic.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if len(data) < 2:
+        raise ValueError("need at least two samples for PCA")
+    centered = data - data.mean(axis=0)
+    # SVD of the centered matrix: right singular vectors are components.
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    component = vt[0]
+    anchor = np.argmax(np.abs(component))
+    if component[anchor] < 0:
+        component = -component
+    scores = centered @ component
+    return scores, component
+
+
+def explained_variance_ratio(data: np.ndarray, k: int = 1) -> float:
+    """Fraction of variance captured by the top ``k`` components."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or len(data) < 2:
+        raise ValueError("data must be 2-D with at least two samples")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    centered = data - data.mean(axis=0)
+    singular = np.linalg.svd(centered, compute_uv=False)
+    variance = singular ** 2
+    total = variance.sum()
+    if total == 0:
+        return 1.0
+    return float(variance[:k].sum() / total)

@@ -1,0 +1,55 @@
+"""Microarchitectural CPU simulator substrate.
+
+This package simulates the processor features the paper's experiments
+depend on: set-associative caches, a branch predictor, TLBs, a
+dispatch/retire pipeline, interrupt interference, and — crucially — a
+Hardware Performance Counter (HPC) subsystem with per-processor event
+catalogs. Real HPC hardware is not available in this environment, so the
+simulator reproduces the statistical behaviour the paper measures
+(Gaussian per-secret event distributions, non-determinism, event
+heterogeneity across processor models).
+"""
+
+from repro.cpu.signals import (
+    NUM_SIGNALS,
+    SIGNALS,
+    Signal,
+    SignalVector,
+    signal_index,
+    zero_signals,
+)
+from repro.cpu.caches import Cache, CacheHierarchy
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.tlb import Tlb
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.memory import MemoryMap, Page
+from repro.cpu.interrupts import InterruptSource
+from repro.cpu.events import EventCatalog, EventType, HpcEventSpec, processor_catalog
+from repro.cpu.hpc import HpcRegisterFile, PerfCounter
+from repro.cpu.core import ActivityBlock, Core, ExecutionResult
+
+__all__ = [
+    "ActivityBlock",
+    "BranchPredictor",
+    "Cache",
+    "CacheHierarchy",
+    "Core",
+    "EventCatalog",
+    "EventType",
+    "ExecutionResult",
+    "HpcEventSpec",
+    "HpcRegisterFile",
+    "InterruptSource",
+    "MemoryMap",
+    "NUM_SIGNALS",
+    "Page",
+    "PerfCounter",
+    "Pipeline",
+    "SIGNALS",
+    "Signal",
+    "SignalVector",
+    "Tlb",
+    "processor_catalog",
+    "signal_index",
+    "zero_signals",
+]

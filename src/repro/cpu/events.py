@@ -1,0 +1,458 @@
+"""HPC event model and per-processor event catalogs.
+
+A processor exposes thousands of monitorable events (paper Table I:
+6166 on the Intel Xeon E5-1650, 1903 on the AMD EPYC 7252), split across
+types (Table II): Hardware (H), Software (S), Hardware-Cache (HC),
+Tracepoint (T), Raw CPU (R) and Other (O). Only a small subset responds
+to activity *inside* a guest VM — mostly H/HC and raw events — which is
+why the paper's warm-up profiling discards >90% of the list.
+
+Each event here is a sparse linear response over the microarchitectural
+signal vector plus measurement noise:
+
+    count = (W_event . signals) * (1 + jitter) + read_noise
+
+The whole catalog is evaluated as one matrix product, so profiling all
+1903 AMD events over thousands of time slices is a single numpy call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.signals import HOST_ONLY_SIGNALS, NUM_SIGNALS, Signal
+from repro.utils.rng import ensure_rng
+
+
+class EventType(enum.Enum):
+    """perf-subsystem event type (paper Table II)."""
+
+    HARDWARE = "H"
+    SOFTWARE = "S"
+    HW_CACHE = "HC"
+    TRACEPOINT = "T"
+    RAW = "R"
+    OTHER = "O"
+
+
+@dataclass(frozen=True)
+class HpcEventSpec:
+    """Metadata for one HPC event (weights live in the catalog matrix)."""
+
+    index: int
+    name: str
+    event_type: EventType
+
+
+#: Curated hardware (H) events present on every model: the perf generic
+#: hardware events plus the counters the paper's attacks monitor.
+_HARDWARE_EVENTS: tuple[tuple[str, dict[Signal, float]], ...] = (
+    ("CPU_CYCLES", {Signal.CYCLES: 1.0}),
+    ("INSTRUCTIONS", {Signal.INSTRUCTIONS: 1.0}),
+    ("RETIRED_UOPS", {Signal.UOPS: 1.0}),
+    ("CACHE_REFERENCES", {Signal.LLC_ACCESS: 1.0}),
+    ("CACHE_MISSES", {Signal.LLC_MISS: 1.0}),
+    ("BRANCH_INSTRUCTIONS", {Signal.BRANCHES: 1.0}),
+    ("BRANCH_MISSES", {Signal.BRANCH_MISS: 1.0}),
+    ("BUS_CYCLES", {Signal.CYCLES: 0.125}),
+    ("STALLED_CYCLES_FRONTEND", {Signal.L1I_MISS: 8.0, Signal.BRANCH_MISS: 12.0}),
+    ("STALLED_CYCLES_BACKEND", {Signal.L1D_MISS: 6.0, Signal.LLC_MISS: 80.0}),
+    ("REF_CPU_CYCLES", {Signal.CYCLES: 1.0}),
+    ("RETIRED_INSTRUCTIONS_FAR", {Signal.INSTRUCTIONS: 0.001,
+                                  Signal.INTERRUPTS: 2.0}),
+    ("RETIRED_BRANCH_TAKEN", {Signal.BRANCHES: 0.6}),
+    ("RETIRED_NEAR_RETURNS", {Signal.RETURNS: 1.0}),
+    ("RETIRED_CALLS", {Signal.CALLS: 1.0}),
+    ("RETIRED_COND_BRANCHES", {Signal.COND_BRANCHES: 1.0}),
+    ("DIV_BUSY_CYCLES", {Signal.DIV_OPS: 20.0}),
+    ("MUL_OPS_RETIRED", {Signal.MUL_OPS: 1.0}),
+    ("FP_OPS_RETIRED", {Signal.FP_OPS: 1.0}),
+    ("RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR", {Signal.SIMD_OPS: 1.0}),
+    ("RETIRED_X87_FP_OPS", {Signal.X87_OPS: 1.0}),
+    ("RETIRED_SERIALIZING_OPS", {Signal.SERIALIZING: 1.0}),
+    ("RETIRED_NOP_INSTRUCTIONS", {Signal.NOP_OPS: 1.0}),
+    ("INTERRUPTS_TAKEN", {Signal.INTERRUPTS: 1.0}),
+)
+
+#: Curated hardware-cache (HC) events: {L1D,L1I,LLC,DTLB,ITLB,BPU,NODE}
+#: x {READ,WRITE,PREFETCH} x {ACCESS,MISS} grid plus pipe-level raws.
+_HC_COMPONENTS: tuple[tuple[str, Signal, Signal], ...] = (
+    # (component, access signal, miss signal)
+    ("L1D", Signal.L1D_ACCESS, Signal.L1D_MISS),
+    ("L1I", Signal.INSTRUCTIONS, Signal.L1I_MISS),
+    ("LL", Signal.LLC_ACCESS, Signal.LLC_MISS),
+    ("DTLB", Signal.LOADS, Signal.DTLB_MISS),
+    ("ITLB", Signal.INSTRUCTIONS, Signal.ITLB_MISS),
+    ("BPU", Signal.BRANCHES, Signal.BRANCH_MISS),
+    ("NODE", Signal.MEM_READS, Signal.MEM_WRITES),
+)
+
+#: Curated raw (R) events every catalog includes, with AMD-style names;
+#: these are the events the paper's attacks and case studies use.
+_NAMED_RAW_EVENTS: tuple[tuple[str, dict[Signal, float]], ...] = (
+    ("LS_DISPATCH", {Signal.LOADS: 1.0, Signal.STORES: 1.0}),
+    ("MAB_ALLOCATION_BY_PIPE", {Signal.MAB_ALLOC: 1.0}),
+    ("DATA_CACHE_REFILLS_FROM_SYSTEM", {Signal.MEM_READS: 1.0}),
+    ("MEM_LOAD_UOPS_RETIRED:L1_HIT", {Signal.L1D_ACCESS: 1.0,
+                                      Signal.L1D_MISS: -1.0}),
+    ("MEM_LOAD_UOPS_RETIRED:L1_MISS", {Signal.L1D_MISS: 1.0}),
+    ("L2_CACHE_ACCESSES", {Signal.L2_ACCESS: 1.0}),
+    ("L2_CACHE_MISSES", {Signal.L2_MISS: 1.0}),
+    ("L1_DTLB_MISSES", {Signal.DTLB_MISS: 1.0}),
+    ("L1_ITLB_MISSES", {Signal.ITLB_MISS: 1.0}),
+    ("PREFETCH_INSTRS_DISPATCHED", {Signal.PREFETCHES: 1.0}),
+    ("CACHE_LINE_FLUSHES", {Signal.CACHE_FLUSHES: 1.0}),
+    ("STORE_TO_LOAD_FORWARDS", {Signal.STORES: 0.35}),
+    ("UOPS_DISPATCHED_PORT_0", {Signal.UOPS: 0.22}),
+    ("UOPS_DISPATCHED_PORT_1", {Signal.UOPS: 0.21}),
+    ("UOPS_DISPATCHED_PORT_5", {Signal.UOPS: 0.18}),
+)
+
+#: Signal pools used when generating the anonymous raw-event tail. Events
+#: are grouped so that some respond only to signal families a given
+#: workload may never exercise — this is what makes the surviving event
+#: count workload-dependent, as the paper observes.
+_RAW_SIGNAL_POOLS: tuple[tuple[Signal, ...], ...] = (
+    # General execution: touched by every workload.
+    (Signal.INSTRUCTIONS, Signal.UOPS, Signal.CYCLES, Signal.LOADS,
+     Signal.STORES, Signal.L1D_ACCESS, Signal.BRANCHES, Signal.COND_BRANCHES,
+     Signal.STACK_OPS, Signal.MUL_OPS, Signal.BIT_OPS),
+    # Memory-system events.
+    (Signal.L1D_MISS, Signal.L2_ACCESS, Signal.L2_MISS, Signal.LLC_ACCESS,
+     Signal.LLC_MISS, Signal.MEM_READS, Signal.MEM_WRITES, Signal.MAB_ALLOC,
+     Signal.DTLB_MISS, Signal.ITLB_MISS, Signal.PREFETCHES),
+    # Branch/frontend events.
+    (Signal.BRANCH_MISS, Signal.L1I_MISS, Signal.CALLS, Signal.RETURNS),
+    # FP/SIMD events (idle for non-numeric workloads).
+    (Signal.FP_OPS, Signal.SIMD_OPS, Signal.DIV_OPS),
+    # Exotic: x87/crypto/flush signals most workloads never trigger.
+    (Signal.X87_OPS, Signal.CRYPTO_OPS, Signal.CACHE_FLUSHES,
+     Signal.TLB_FLUSHES, Signal.SERIALIZING, Signal.NOP_OPS),
+)
+
+_RAW_NAME_PREFIXES = (
+    "LS", "IC", "DC", "BP", "EX", "DE", "FP", "L2", "L3", "MAB", "TLB", "UOP",
+)
+_RAW_NAME_SUFFIXES = (
+    "DISPATCH", "FILL", "REFILL", "STALL", "RETIRED", "ALLOC", "EVICT",
+    "REPLAY", "CONFLICT", "BYPASS", "WIDTH", "LATENCY",
+)
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Catalog-shaping parameters for one processor model."""
+
+    name: str
+    family: str
+    total_events: int
+    type_shares: dict[EventType, float]
+    tracepoint_sensitive_share: float
+    raw_sensitive_share: float
+    hpc_registers: int = 4
+    seed: int = 0
+
+
+INTEL_E5_1650_MODEL = ProcessorModel(
+    name="intel-xeon-e5-1650", family="intel-e5", total_events=6166,
+    type_shares={EventType.HARDWARE: 0.0039, EventType.SOFTWARE: 0.0031,
+                 EventType.HW_CACHE: 0.0100, EventType.TRACEPOINT: 0.3615,
+                 EventType.RAW: 0.0775, EventType.OTHER: 0.5440},
+    tracepoint_sensitive_share=0.0798, raw_sensitive_share=0.9937, seed=11)
+
+# The E5-4617 generates the *same* 6166-event base catalog (same seed and
+# count, so the raw-event tail is name-identical), then 8 events are
+# renamed and 6 added: 6172 total, 14 different — Table I's family
+# similarity.
+INTEL_E5_4617_MODEL = ProcessorModel(
+    name="intel-xeon-e5-4617", family="intel-e5", total_events=6166,
+    type_shares=INTEL_E5_1650_MODEL.type_shares,
+    tracepoint_sensitive_share=0.0798, raw_sensitive_share=0.9937, seed=11)
+
+AMD_EPYC_7252_MODEL = ProcessorModel(
+    name="amd-epyc-7252", family="amd-epyc", total_events=1903,
+    type_shares={EventType.HARDWARE: 0.0126, EventType.SOFTWARE: 0.0100,
+                 EventType.HW_CACHE: 0.0326, EventType.TRACEPOINT: 0.8717,
+                 EventType.RAW: 0.0520, EventType.OTHER: 0.0211},
+    tracepoint_sensitive_share=0.0157, raw_sensitive_share=0.9183, seed=23)
+
+AMD_EPYC_7313P_MODEL = ProcessorModel(
+    name="amd-epyc-7313p", family="amd-epyc", total_events=1903,
+    type_shares=AMD_EPYC_7252_MODEL.type_shares,
+    tracepoint_sensitive_share=0.0157, raw_sensitive_share=0.9183, seed=23)
+
+PROCESSOR_MODELS: dict[str, ProcessorModel] = {
+    m.name: m for m in (INTEL_E5_1650_MODEL, INTEL_E5_4617_MODEL,
+                        AMD_EPYC_7252_MODEL, AMD_EPYC_7313P_MODEL)
+}
+
+_HOST_ONLY_INDICES = np.array(sorted(int(s) for s in HOST_ONLY_SIGNALS))
+_GUEST_INDICES = np.array([i for i in range(NUM_SIGNALS)
+                           if i not in set(_HOST_ONLY_INDICES.tolist())])
+
+
+class EventCatalog:
+    """All monitorable events of one processor model.
+
+    Attributes
+    ----------
+    specs:
+        Per-event metadata, index-aligned with the weight matrix.
+    weights:
+        ``(num_events, NUM_SIGNALS)`` response matrix.
+    noise_rel / noise_abs:
+        Per-event relative and absolute measurement-noise scales.
+    """
+
+    def __init__(self, model: ProcessorModel) -> None:
+        self.model = model
+        self.specs: list[HpcEventSpec] = []
+        names: list[str] = []
+        types: list[EventType] = []
+        rows: list[np.ndarray] = []
+        rng = np.random.default_rng(model.seed)
+        self._generate(rng, names, types, rows)
+        if model.name == "intel-xeon-e5-4617":
+            self._differentiate_sibling(rng, names, types, rows, extra=6,
+                                        renamed=14)
+        self.weights = np.vstack(rows)
+        self.specs = [HpcEventSpec(i, n, t)
+                      for i, (n, t) in enumerate(zip(names, types))]
+        self._by_name = {s.name: s for s in self.specs}
+        num = len(self.specs)
+        noise_rng = np.random.default_rng(model.seed + 1)
+        self.noise_rel = 0.01 + 0.02 * noise_rng.random(num)
+        self.noise_abs = 1.0 + 4.0 * noise_rng.random(num)
+        # An event is guest-sensitive when it responds to any signal a
+        # guest process can generate.
+        self.guest_sensitive = (
+            np.abs(self.weights[:, _GUEST_INDICES]).sum(axis=1) > 0)
+
+    # -- generation -------------------------------------------------
+
+    def _generate(self, rng: np.random.Generator, names: list[str],
+                  types: list[EventType], rows: list[np.ndarray]) -> None:
+        model = self.model
+        counts = {t: int(round(model.total_events * share))
+                  for t, share in model.type_shares.items()}
+        # Adjust rounding drift on the largest bucket.
+        drift = model.total_events - sum(counts.values())
+        largest = max(counts, key=lambda t: counts[t])
+        counts[largest] += drift
+
+        self._gen_hardware(names, types, rows, counts[EventType.HARDWARE])
+        self._gen_software(rng, names, types, rows, counts[EventType.SOFTWARE])
+        self._gen_hw_cache(names, types, rows, counts[EventType.HW_CACHE])
+        self._gen_tracepoints(rng, names, types, rows,
+                              counts[EventType.TRACEPOINT])
+        self._gen_raw(rng, names, types, rows, counts[EventType.RAW])
+        self._gen_other(names, types, rows, counts[EventType.OTHER])
+
+    @staticmethod
+    def _row(weights: dict[Signal, float]) -> np.ndarray:
+        row = np.zeros(NUM_SIGNALS)
+        for sig, w in weights.items():
+            row[int(sig)] = w
+        return row
+
+    def _gen_hardware(self, names, types, rows, count: int) -> None:
+        pool = list(_HARDWARE_EVENTS)
+        for i in range(count):
+            name, weights = pool[i % len(pool)]
+            if i >= len(pool):
+                name = f"{name}:CYCLE_{i // len(pool)}"
+            names.append(name)
+            types.append(EventType.HARDWARE)
+            rows.append(self._row(weights))
+
+    def _gen_software(self, rng, names, types, rows, count: int) -> None:
+        base = ("CPU_CLOCK", "TASK_CLOCK", "PAGE_FAULTS", "CONTEXT_SWITCHES",
+                "CPU_MIGRATIONS", "MINOR_FAULTS", "MAJOR_FAULTS",
+                "ALIGNMENT_FAULTS", "EMULATION_FAULTS", "DUMMY", "BPF_OUTPUT",
+                "CGROUP_SWITCHES")
+        weights_by_name = {
+            "PAGE_FAULTS": {Signal.PAGE_FAULTS: 1.0},
+            "MINOR_FAULTS": {Signal.PAGE_FAULTS: 0.9},
+            "MAJOR_FAULTS": {Signal.PAGE_FAULTS: 0.1},
+            "CONTEXT_SWITCHES": {Signal.CONTEXT_SWITCHES: 1.0},
+            "CGROUP_SWITCHES": {Signal.CONTEXT_SWITCHES: 0.5},
+        }
+        for i in range(count):
+            name = base[i % len(base)]
+            if i >= len(base):
+                name = f"{name}:{i // len(base)}"
+            names.append(name)
+            types.append(EventType.SOFTWARE)
+            rows.append(self._row(weights_by_name.get(base[i % len(base)], {})))
+
+    def _gen_hw_cache(self, names, types, rows, count: int) -> None:
+        grid: list[tuple[str, dict[Signal, float]]] = []
+        for comp, access_sig, miss_sig in _HC_COMPONENTS:
+            for op, op_scale in (("READ", 0.7), ("WRITE", 0.3),
+                                 ("PREFETCH", 0.05)):
+                grid.append((f"HW_CACHE_{comp}:{op}:ACCESS",
+                             {access_sig: op_scale}))
+                grid.append((f"HW_CACHE_{comp}:{op}:MISS",
+                             {miss_sig: op_scale}))
+        for i in range(count):
+            name, weights = grid[i % len(grid)]
+            if i >= len(grid):
+                name = f"{name}:{i // len(grid)}"
+            names.append(name)
+            types.append(EventType.HW_CACHE)
+            rows.append(self._row(weights))
+
+    def _gen_tracepoints(self, rng, names, types, rows, count: int) -> None:
+        subsystems = ("syscalls", "sched", "irq", "block", "net", "kvm",
+                      "kmem", "ext4", "writeback", "timer", "workqueue",
+                      "power", "signal", "task", "module", "rcu", "xdp")
+        sensitive = int(round(count * self.model.tracepoint_sensitive_share))
+        for i in range(count):
+            subsystem = subsystems[i % len(subsystems)]
+            names.append(f"{subsystem}:tp_{i:04d}")
+            types.append(EventType.TRACEPOINT)
+            if i < sensitive:
+                # The few tracepoints that do reflect guest activity:
+                # kvm exits, scheduler ticks attributable to the vCPU
+                # thread. They respond weakly to guest execution volume.
+                weights = {Signal.UOPS: 1e-5 * (1 + rng.random()),
+                           Signal.MEM_READS: 1e-3 * rng.random()}
+                rows.append(self._row(weights))
+            else:
+                rows.append(self._row({Signal.SYSCALLS: rng.random(),
+                                       Signal.IO_OPS: rng.random() * 0.5}))
+
+    def _gen_raw(self, rng, names, types, rows, count: int) -> None:
+        named = list(_NAMED_RAW_EVENTS)
+        sensitive = int(round(count * self.model.raw_sensitive_share))
+        used_names: set[str] = set()
+        for i in range(count):
+            if i < len(named):
+                name, weights = named[i]
+                rows.append(self._row(weights))
+            elif i < sensitive:
+                pool = _RAW_SIGNAL_POOLS[int(rng.integers(len(_RAW_SIGNAL_POOLS)))]
+                k = int(rng.integers(1, min(3, len(pool)) + 1))
+                chosen = rng.choice(len(pool), size=k, replace=False)
+                weights = {pool[int(c)]: float(0.1 + 0.9 * rng.random())
+                           for c in chosen}
+                prefix = _RAW_NAME_PREFIXES[int(rng.integers(len(_RAW_NAME_PREFIXES)))]
+                suffix = _RAW_NAME_SUFFIXES[int(rng.integers(len(_RAW_NAME_SUFFIXES)))]
+                name = f"{prefix}_{suffix}_{i:04d}"
+                rows.append(self._row(weights))
+            else:
+                # Raw events wired to host-side or dead umasks.
+                name = f"RESERVED_UMASK_{i:04d}"
+                rows.append(self._row({Signal.INTERRUPTS: rng.random()}))
+            while name in used_names:
+                name = f"{name}_DUP"
+            used_names.add(name)
+            names.append(name)
+            types.append(EventType.RAW)
+
+    def _gen_other(self, names, types, rows, count: int) -> None:
+        kinds = ("breakpoint:mem", "breakpoint:inst", "msr:aperf", "msr:mperf",
+                 "uncore:cbox", "uncore:imc", "power:energy-pkg",
+                 "power:energy-ram", "cstate:c3", "cstate:c6")
+        for i in range(count):
+            name = f"{kinds[i % len(kinds)]}:{i:04d}"
+            names.append(name)
+            types.append(EventType.OTHER)
+            rows.append(self._row({}))
+
+    def _differentiate_sibling(self, rng, names, types, rows, extra: int,
+                               renamed: int) -> None:
+        """Make the E5-4617 catalog differ by a handful of events.
+
+        Table I reports that processors in the same family share nearly
+        all events: the E5-4617 has 6172 events of which 14 differ from
+        the E5-1650.
+        """
+        raw_indices = [i for i, t in enumerate(types) if t is EventType.RAW]
+        for j in range(renamed - extra):
+            idx = raw_indices[-(j + 1)]
+            names[idx] = f"{names[idx]}_4617"
+        for j in range(extra):
+            names.append(f"E5_4617_UNCORE_EXT_{j}")
+            types.append(EventType.RAW)
+            rows.append(self._row({Signal.LLC_MISS: 0.5 + 0.5 * rng.random()}))
+
+    # -- queries ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def get(self, name: str) -> HpcEventSpec:
+        """Look up an event by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown HPC event {name!r}") from exc
+
+    def index_of(self, name: str) -> int:
+        """Row index of an event in the weight matrix."""
+        return self.get(name).index
+
+    def type_histogram(self) -> dict[EventType, int]:
+        """Event count per type (paper Table II, first row)."""
+        hist: dict[EventType, int] = {t: 0 for t in EventType}
+        for spec in self.specs:
+            hist[spec.event_type] += 1
+        return hist
+
+    def names_shared_with(self, other: "EventCatalog") -> int:
+        """How many event names this catalog shares with ``other``."""
+        mine = {s.name for s in self.specs}
+        theirs = {s.name for s in other.specs}
+        return len(mine & theirs)
+
+    # -- measurement ------------------------------------------------
+
+    def counts_for(self, signals: np.ndarray,
+                   rng: "int | np.random.Generator | None" = None,
+                   event_indices: np.ndarray | None = None) -> np.ndarray:
+        """Event counts for one signal vector (or a batch).
+
+        Parameters
+        ----------
+        signals:
+            Shape ``(NUM_SIGNALS,)`` or ``(T, NUM_SIGNALS)``.
+        rng:
+            Measurement-noise source; ``None`` disables noise.
+        event_indices:
+            Restrict evaluation to these catalog rows.
+        """
+        weights = self.weights
+        noise_rel = self.noise_rel
+        noise_abs = self.noise_abs
+        if event_indices is not None:
+            weights = weights[event_indices]
+            noise_rel = noise_rel[event_indices]
+            noise_abs = noise_abs[event_indices]
+        counts = signals @ weights.T
+        counts = np.maximum(counts, 0.0)
+        if rng is not None:
+            gen = ensure_rng(rng)
+            sigma = noise_rel * counts + noise_abs
+            counts = np.maximum(counts + gen.normal(0.0, sigma), 0.0)
+        return counts
+
+
+_CATALOG_CACHE: dict[str, EventCatalog] = {}
+
+
+def processor_catalog(model_name: str) -> EventCatalog:
+    """Return (and cache) the event catalog for a processor model."""
+    if model_name not in PROCESSOR_MODELS:
+        raise KeyError(
+            f"unknown processor model {model_name!r}; known: "
+            f"{sorted(PROCESSOR_MODELS)}")
+    if model_name not in _CATALOG_CACHE:
+        _CATALOG_CACHE[model_name] = EventCatalog(PROCESSOR_MODELS[model_name])
+    return _CATALOG_CACHE[model_name]

@@ -1,0 +1,115 @@
+"""HPC register file: programmable counters and RDPMC.
+
+Modern cores expose a small number of programmable counter registers
+(four on the simulated processors — the same limit that forces the
+paper's profiler to monitor events in groups of four and the perf
+subsystem to time-multiplex larger sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.events import EventCatalog
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class PerfCounter:
+    """One programmable counter: event binding plus accumulated value."""
+
+    event_index: int = -1
+    value: float = 0.0
+    enabled_time: float = 0.0
+    running_time: float = 0.0
+
+    @property
+    def programmed(self) -> bool:
+        return self.event_index >= 0
+
+    @property
+    def scaling_factor(self) -> float:
+        """Multiplexing scale: enabled/running (1.0 when always counting)."""
+        if self.running_time <= 0:
+            return 1.0
+        return self.enabled_time / self.running_time
+
+    def scaled_value(self) -> float:
+        """Counter value corrected for multiplexing dead time."""
+        return self.value * self.scaling_factor
+
+
+class HpcRegisterFile:
+    """The per-core HPC register file.
+
+    Parameters
+    ----------
+    catalog:
+        Event catalog of the processor; counter slots bind to rows of it.
+    num_registers:
+        Concurrent hardware counters (paper: 4 on both testbeds).
+    rng:
+        Measurement-noise source shared by all slots.
+    """
+
+    def __init__(self, catalog: EventCatalog, num_registers: int = 4,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if num_registers < 1:
+            raise ValueError(f"num_registers must be >= 1, got {num_registers}")
+        self.catalog = catalog
+        self.num_registers = num_registers
+        self.counters: list[PerfCounter] = [
+            PerfCounter() for _ in range(num_registers)]
+        self._rng = ensure_rng(rng)
+
+    def _slot(self, slot: int) -> PerfCounter:
+        if not 0 <= slot < self.num_registers:
+            raise IndexError(
+                f"counter slot {slot} out of range [0, {self.num_registers})")
+        return self.counters[slot]
+
+    def program(self, slot: int, event: "int | str") -> None:
+        """Bind counter ``slot`` to an event (by name or catalog index)."""
+        index = (self.catalog.index_of(event) if isinstance(event, str)
+                 else int(event))
+        if not 0 <= index < len(self.catalog):
+            raise IndexError(f"event index {index} out of catalog range")
+        counter = self._slot(slot)
+        counter.event_index = index
+        counter.value = 0.0
+        counter.enabled_time = 0.0
+        counter.running_time = 0.0
+
+    def reset(self, slot: int) -> None:
+        """Zero a counter without unbinding its event."""
+        self._slot(slot).value = 0.0
+
+    def programmed_slots(self) -> list[int]:
+        """Slots that currently have an event bound."""
+        return [i for i, c in enumerate(self.counters) if c.programmed]
+
+    def accumulate(self, signals: np.ndarray, noisy: bool = True) -> None:
+        """Advance every programmed counter by one signal-vector delta."""
+        slots = self.programmed_slots()
+        if not slots:
+            return
+        indices = np.array([self.counters[s].event_index for s in slots])
+        rng = self._rng if noisy else None
+        deltas = self.catalog.counts_for(signals, rng=rng,
+                                         event_indices=indices)
+        deltas = np.atleast_1d(deltas)
+        for slot, delta in zip(slots, deltas):
+            self.counters[slot].value += float(delta)
+
+    def rdpmc(self, slot: int) -> int:
+        """Read a counter (RDPMC); raises if the slot is unprogrammed."""
+        counter = self._slot(slot)
+        if not counter.programmed:
+            raise RuntimeError(f"RDPMC on unprogrammed counter slot {slot}")
+        return int(round(counter.value))
+
+    def read_all(self) -> dict[int, int]:
+        """Read every programmed counter."""
+        return {slot: self.rdpmc(slot) for slot in self.programmed_slots()}

@@ -1,0 +1,63 @@
+"""External interference: timer interrupts and scheduler noise.
+
+HPCs "cannot count performance events precisely because of external
+interference, e.g. hardware interrupts" (paper challenge C2). This
+module injects that non-determinism: a Poisson interrupt process whose
+rate drops dramatically when the core is isolated (``isolcpus``) and the
+process pinned, exactly the mitigations the fuzzer's harness applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class InterruptSource:
+    """Poisson interrupt generator over simulated time.
+
+    Parameters
+    ----------
+    rate_hz:
+        Baseline interrupt rate on a normally scheduled core.
+    isolated_rate_hz:
+        Residual rate once the core is isolated and the process pinned.
+    """
+
+    def __init__(self, rate_hz: float = 1000.0, isolated_rate_hz: float = 2.0,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if rate_hz < 0 or isolated_rate_hz < 0:
+            raise ValueError("interrupt rates must be non-negative")
+        self.rate_hz = float(rate_hz)
+        self.isolated_rate_hz = float(isolated_rate_hz)
+        self.isolated = False
+        self.pinned = False
+        self._rng = ensure_rng(rng)
+        self.total_interrupts = 0
+
+    @property
+    def effective_rate_hz(self) -> float:
+        """Current interrupt rate given isolation/pinning state."""
+        if self.isolated and self.pinned:
+            return self.isolated_rate_hz
+        if self.isolated or self.pinned:
+            return (self.rate_hz + self.isolated_rate_hz) / 8.0
+        return self.rate_hz
+
+    def isolate_core(self) -> None:
+        """Apply ``isolcpus``-style isolation to this core."""
+        self.isolated = True
+
+    def pin_process(self) -> None:
+        """Pin the measured process to this core."""
+        self.pinned = True
+
+    def interrupts_during(self, seconds: float) -> int:
+        """Sample how many interrupts land in a window of ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        lam = self.effective_rate_hz * seconds
+        count = int(self._rng.poisson(lam)) if lam > 0 else 0
+        self.total_interrupts += count
+        return count

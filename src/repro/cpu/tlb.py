@@ -1,0 +1,53 @@
+"""Instruction/data TLB models (fully-associative LRU)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """A fully-associative translation lookaside buffer with LRU.
+
+    Parameters
+    ----------
+    entries:
+        Number of page translations the TLB holds.
+    page_size:
+        Page size in bytes (4 KiB default).
+    """
+
+    def __init__(self, entries: int = 64, page_size: int = 4096,
+                 name: str = "TLB") -> None:
+        if entries < 1:
+            raise ValueError(f"entries must be >= 1, got {entries}")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.name = name
+        self.entries = entries
+        self.page_size = page_size
+        self.hits = 0
+        self.misses = 0
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns True on TLB hit."""
+        page = address // self.page_size
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return False
+
+    def flush(self) -> int:
+        """INVLPG-all/world-switch flush; returns entries dropped."""
+        dropped = len(self._pages)
+        self._pages.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pages)

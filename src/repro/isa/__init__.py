@@ -1,0 +1,36 @@
+"""Simulated machine-readable ISA specification.
+
+The paper's Event Fuzzer starts from the uops.info machine-readable x86
+instruction list: ~14k instruction *variants*, of which only ~24% execute
+legally on a given microarchitecture. This package provides the same
+artifact for the simulated processors: a deterministic catalog of
+instruction variants with extension/category metadata, a legality tester,
+and a tiny assembler for textual round-trips.
+"""
+
+from repro.isa.spec import (
+    Extension,
+    FaultKind,
+    InstructionCategory,
+    InstructionClass,
+    InstructionSpec,
+    OperandForm,
+)
+from repro.isa.catalog import IsaCatalog, build_catalog
+from repro.isa.legality import LegalityTester, LegalityReport
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "Extension",
+    "FaultKind",
+    "InstructionCategory",
+    "InstructionClass",
+    "InstructionSpec",
+    "IsaCatalog",
+    "LegalityReport",
+    "LegalityTester",
+    "OperandForm",
+    "assemble",
+    "build_catalog",
+    "disassemble",
+]

@@ -1,0 +1,214 @@
+"""An AArch64-flavored catalog: the methodology is ISA-agnostic.
+
+The paper focuses on x86 but notes the fuzzing methodology "is
+applicable to other ISA (e.g., ARM) as well". This module generates an
+AArch64-style machine-readable list with the same schema, so every
+stage of the Event Fuzzer (cleanup, grammar, harness, confirmation,
+filtering) runs unchanged on a second architecture.
+"""
+
+from __future__ import annotations
+
+from repro.isa.catalog import IsaCatalog
+from repro.isa.legality import MicroArchProfile
+from repro.isa.spec import (
+    Extension,
+    InstructionCategory,
+    InstructionClass,
+    InstructionSpec,
+    OperandForm,
+)
+
+#: Default AArch64 catalog size (A64 base + NEON/SVE variants).
+DEFAULT_ARM_CATALOG_SIZE = 3600
+
+_ARM_CONDITIONS = ("EQ", "NE", "CS", "CC", "MI", "PL", "VS", "VC",
+                   "HI", "LS", "GE", "LT", "GT", "LE")
+
+
+def _scalar(cat: IsaCatalog) -> None:
+    for mnemonic in ("ADD", "SUB", "ADC", "SBC", "AND", "ORR", "EOR",
+                     "BIC", "ORN", "EON", "MVN", "NEG", "CMP", "CMN",
+                     "TST"):
+        iclass = (InstructionClass.BIT
+                  if mnemonic in ("AND", "ORR", "EOR", "BIC", "ORN",
+                                  "EON", "MVN", "TST")
+                  else InstructionClass.ALU)
+        category = (InstructionCategory.LOGICAL
+                    if iclass is InstructionClass.BIT
+                    else InstructionCategory.ARITHMETIC)
+        for form in (OperandForm.R32_R32, OperandForm.R64_R64,
+                     OperandForm.R32_IMM, OperandForm.R64_IMM):
+            cat.add(InstructionSpec(mnemonic, form, iclass, Extension.BASE,
+                                    category))
+    for mnemonic in ("LSL", "LSR", "ASR", "ROR", "RBIT", "REV", "CLZ",
+                     "UBFM", "SBFM", "EXTR"):
+        for form in (OperandForm.R64_R64, OperandForm.R64_IMM):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.BIT,
+                                    Extension.BASE,
+                                    InstructionCategory.LOGICAL))
+    for mnemonic, iclass, latency in (("MUL", InstructionClass.MUL, 3),
+                                      ("MADD", InstructionClass.MUL, 4),
+                                      ("MSUB", InstructionClass.MUL, 4),
+                                      ("SMULH", InstructionClass.MUL, 5),
+                                      ("UMULH", InstructionClass.MUL, 5),
+                                      ("SDIV", InstructionClass.DIV, 16),
+                                      ("UDIV", InstructionClass.DIV, 16)):
+        for form in (OperandForm.R32_R32, OperandForm.R64_R64):
+            cat.add(InstructionSpec(mnemonic, form, iclass, Extension.BASE,
+                                    InstructionCategory.ARITHMETIC,
+                                    latency=latency))
+
+
+def _memory(cat: IsaCatalog) -> None:
+    loads = ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH", "LDRSW", "LDUR",
+             "LDP", "LDAR", "LDXR", "LDAXR")
+    stores = ("STR", "STRB", "STRH", "STUR", "STP", "STLR", "STXR",
+              "STLXR")
+    for mnemonic in loads:
+        cat.add(InstructionSpec(mnemonic, OperandForm.R64_M64,
+                                InstructionClass.LOAD, Extension.BASE,
+                                InstructionCategory.DATA_TRANSFER,
+                                latency=4))
+    for mnemonic in stores:
+        cat.add(InstructionSpec(mnemonic, OperandForm.M64_R64,
+                                InstructionClass.STORE, Extension.BASE,
+                                InstructionCategory.DATA_TRANSFER))
+    for mnemonic, iclass in (("DC CIVAC", InstructionClass.CLFLUSH),
+                             ("DC CVAC", InstructionClass.CLFLUSH),
+                             ("IC IALLU", InstructionClass.CLFLUSH),
+                             ("PRFM PLDL1KEEP", InstructionClass.PREFETCH),
+                             ("PRFM PLDL2KEEP", InstructionClass.PREFETCH),
+                             ("PRFM PSTL1KEEP", InstructionClass.PREFETCH)):
+        cat.add(InstructionSpec(mnemonic, OperandForm.M8, iclass,
+                                Extension.BASE,
+                                InstructionCategory.CACHE_CONTROL,
+                                uops=2, latency=40))
+    for mnemonic in ("DMB ISH", "DSB ISH", "ISB"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE,
+                                InstructionClass.FENCE, Extension.BASE,
+                                InstructionCategory.SYSTEM, latency=8))
+
+
+def _control(cat: IsaCatalog) -> None:
+    for condition in _ARM_CONDITIONS:
+        cat.add(InstructionSpec(f"B.{condition}", OperandForm.REL32,
+                                InstructionClass.BRANCH_COND,
+                                Extension.BASE,
+                                InstructionCategory.CONTROL_FLOW))
+        cat.add(InstructionSpec(f"CSEL.{condition}", OperandForm.R64_R64,
+                                InstructionClass.MOV, Extension.BASE,
+                                InstructionCategory.DATA_TRANSFER))
+    for mnemonic, iclass in (("B", InstructionClass.BRANCH_UNCOND),
+                             ("BR", InstructionClass.BRANCH_UNCOND),
+                             ("BL", InstructionClass.CALL),
+                             ("BLR", InstructionClass.CALL),
+                             ("RET", InstructionClass.RET),
+                             ("CBZ", InstructionClass.BRANCH_COND),
+                             ("CBNZ", InstructionClass.BRANCH_COND),
+                             ("TBZ", InstructionClass.BRANCH_COND),
+                             ("TBNZ", InstructionClass.BRANCH_COND)):
+        cat.add(InstructionSpec(mnemonic, OperandForm.REL32, iclass,
+                                Extension.BASE,
+                                InstructionCategory.CONTROL_FLOW))
+
+
+_NEON_BASES = ("ADD", "SUB", "MUL", "MLA", "MLS", "ABD", "MAX", "MIN",
+               "ADDP", "AND", "ORR", "EOR", "CMEQ", "CMGT", "CMGE",
+               "SHL", "SSHR", "USHR", "ZIP1", "ZIP2", "UZP1", "UZP2",
+               "TRN1", "TRN2", "REV64", "ABS", "NEG", "CNT")
+_NEON_ARRANGEMENTS = ("8B", "16B", "4H", "8H", "2S", "4S", "2D")
+
+
+def _simd(cat: IsaCatalog) -> None:
+    for base in _NEON_BASES:
+        for arrangement in _NEON_ARRANGEMENTS:
+            for form in (OperandForm.XMM_XMM, OperandForm.XMM_M128):
+                try:
+                    cat.add(InstructionSpec(
+                        f"V{base}.{arrangement}", form,
+                        InstructionClass.SIMD_INT, Extension.SSE2,
+                        InstructionCategory.SIMD, width_bits=128))
+                except ValueError:
+                    continue
+    for base in ("FADD", "FSUB", "FMUL", "FDIV", "FSQRT", "FMAX", "FMIN",
+                 "FABS", "FNEG", "FCMEQ", "FCMGT", "FRINTN", "FCVTZS"):
+        for arrangement in ("2S", "4S", "2D"):
+            for form in (OperandForm.XMM_XMM, OperandForm.XMM_M128):
+                try:
+                    cat.add(InstructionSpec(
+                        f"{base}.{arrangement}", form,
+                        InstructionClass.SIMD_FP, Extension.SSE,
+                        InstructionCategory.SIMD,
+                        latency=10 if base in ("FDIV", "FSQRT") else 4,
+                        width_bits=128))
+                except ValueError:
+                    continue
+    # SVE variants (not implemented by the simulated core -> illegal,
+    # giving the ARM catalog its own cleanup ratio).
+    for base in _NEON_BASES[:20]:
+        for form in (OperandForm.ZMM_ZMM, OperandForm.M256):
+            try:
+                cat.add(InstructionSpec(f"SVE.{base}", form,
+                                        InstructionClass.SIMD_INT,
+                                        Extension.AVX512,
+                                        InstructionCategory.SIMD,
+                                        width_bits=512))
+            except ValueError:
+                continue
+    for mnemonic in ("AESE", "AESD", "AESMC", "AESIMC", "SHA1C", "SHA1P",
+                     "SHA1M", "SHA256H", "SHA256H2", "PMULL"):
+        for form in (OperandForm.XMM_XMM,):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.CRYPTO,
+                                    Extension.AES,
+                                    InstructionCategory.CRYPTO, latency=4))
+
+
+def _system(cat: IsaCatalog) -> None:
+    cat.add(InstructionSpec("NOP", OperandForm.NONE, InstructionClass.NOP,
+                            Extension.BASE, InstructionCategory.MISC))
+    cat.add(InstructionSpec("YIELD", OperandForm.NONE, InstructionClass.NOP,
+                            Extension.BASE, InstructionCategory.MISC))
+    cat.add(InstructionSpec("MRS PMCCNTR_EL0", OperandForm.NONE,
+                            InstructionClass.RDPMC, Extension.BASE,
+                            InstructionCategory.SYSTEM, uops=4, latency=20))
+    for mnemonic in ("MSR PMCR_EL0", "TLBI VMALLE1", "SVC", "HVC", "SMC",
+                     "MRS SCTLR_EL1", "WFE", "WFI"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE,
+                                InstructionClass.SYSTEM, Extension.BASE,
+                                InstructionCategory.SYSTEM, uops=8,
+                                latency=60))
+
+
+def build_arm_catalog(target_size: int = DEFAULT_ARM_CATALOG_SIZE
+                      ) -> IsaCatalog:
+    """Build the AArch64-style catalog (deterministic)."""
+    if target_size < 1:
+        raise ValueError(f"target_size must be positive, got {target_size}")
+    cat = IsaCatalog(isa_name="aarch64-sim")
+    _scalar(cat)
+    _memory(cat)
+    _control(cat)
+    _simd(cat)
+    _system(cat)
+    if len(cat) > target_size:
+        del cat.variants[target_size:]
+        cat._by_name = {v.name: v for v in cat.variants}
+        return cat
+    # Encoding expansion: size/extension qualifiers, as on A64.
+    from repro.isa.catalog import _expand_encodings
+    _expand_encodings(cat, target_size)
+    return cat
+
+
+#: Neoverse-style profile: no SVE (AVX512 stands in for it), generous
+#: base support — AArch64's regular encoding space means a larger legal
+#: share than x86's.
+ARM_NEOVERSE_N1 = MicroArchProfile(
+    name="arm-neoverse-n1",
+    supported_extensions=frozenset({
+        Extension.BASE, Extension.SSE, Extension.SSE2, Extension.AES,
+    }),
+    target_legal_fraction=0.55,
+    salt=7,
+)

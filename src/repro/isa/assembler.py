@@ -1,0 +1,35 @@
+"""A tiny assembler for textual instruction sequences.
+
+The fuzzer's cleanup step "transfers the ISA specification to an assembly
+file"; this module provides that round-trip: catalog variants render to
+one line each, and lines parse back to :class:`InstructionSpec` entries
+via catalog lookup.
+"""
+
+from __future__ import annotations
+
+from repro.isa.catalog import IsaCatalog
+from repro.isa.spec import InstructionSpec
+
+
+def disassemble(specs: list[InstructionSpec]) -> str:
+    """Render instruction variants as an assembly listing, one per line."""
+    return "\n".join(spec.name for spec in specs)
+
+
+def assemble(text: str, catalog: IsaCatalog) -> list[InstructionSpec]:
+    """Parse an assembly listing back into catalog variants.
+
+    Blank lines and ``;`` comments are ignored. Unknown variants raise
+    ``KeyError`` with the offending line number.
+    """
+    specs: list[InstructionSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            specs.append(catalog.get(line))
+        except KeyError as exc:
+            raise KeyError(f"line {lineno}: unknown instruction {line!r}") from exc
+    return specs

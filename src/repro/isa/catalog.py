@@ -1,0 +1,497 @@
+"""Machine-readable ISA catalog generation.
+
+Real fuzzing campaigns in the paper start from the uops.info x86 list:
+roughly fourteen thousand instruction *variants* (mnemonic + operand form
++ encoding), of which only about 24% execute legally on a given
+microarchitecture. This module deterministically generates an equivalent
+catalog for the simulated processors.
+
+Generation has two stages:
+
+1. *Base variants* — realistic instruction families (scalar ALU,
+   condition-code expansions, MMX/SSE/AVX/AVX-512 SIMD grids, x87,
+   crypto, BMI, string, stack, cache-control, system) are expanded
+   combinatorially.
+2. *Encoding variants* — like uops.info, distinct encodings (LOCK, REP,
+   REX, VEX.128/256, EVEX.512, XACQUIRE, ...) of the same base form are
+   separate catalog entries. Encodings are appended deterministically
+   until the catalog reaches its target size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.spec import (
+    Extension,
+    InstructionCategory,
+    InstructionClass,
+    InstructionSpec,
+    OperandForm,
+)
+
+#: Default catalog size, matching the uops.info-era x86 variant count
+#: implied by the paper (3386 legal / 24.16% legal ratio ~= 14,015).
+DEFAULT_CATALOG_SIZE = 14015
+
+#: x86 condition codes used to expand Jcc/SETcc/CMOVcc families.
+CONDITION_CODES = (
+    "O", "NO", "B", "AE", "E", "NE", "BE", "A",
+    "S", "NS", "P", "NP", "L", "GE", "LE", "G",
+)
+
+#: Encoding tags appended in stage 2; order matters (deterministic).
+ENCODING_TAGS = ("REX", "LOCK", "VEX.128", "VEX.256", "EVEX.512", "XACQ",
+                 "BND", "O16", "SEG.FS", "SEG.GS")
+
+
+@dataclass
+class IsaCatalog:
+    """A generated ISA catalog: an ordered list of instruction variants.
+
+    ``variants`` preserves generation order so indices are stable across
+    runs, which the fuzzer relies on for reproducible sampling.
+    """
+
+    isa_name: str
+    variants: list[InstructionSpec] = field(default_factory=list)
+    _by_name: dict[str, InstructionSpec] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __iter__(self):
+        return iter(self.variants)
+
+    def add(self, spec: InstructionSpec) -> None:
+        """Append a variant; duplicate names are rejected."""
+        if spec.name in self._by_name:
+            raise ValueError(f"duplicate instruction variant {spec.name!r}")
+        self._by_name[spec.name] = spec
+        self.variants.append(spec)
+
+    def get(self, name: str) -> InstructionSpec:
+        """Look up a variant by its unique name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown instruction variant {name!r}") from exc
+
+    def by_extension(self, extension: Extension) -> list[InstructionSpec]:
+        """All variants belonging to ``extension``."""
+        return [v for v in self.variants if v.extension is extension]
+
+    def by_category(self, category: InstructionCategory) -> list[InstructionSpec]:
+        """All variants belonging to ``category``."""
+        return [v for v in self.variants if v.category is category]
+
+
+def _scalar_alu(cat: IsaCatalog) -> None:
+    arithmetic = ("ADD", "SUB", "ADC", "SBB", "INC", "DEC", "NEG", "CMP")
+    logical = ("AND", "OR", "XOR", "NOT", "TEST")
+    unary_forms = (OperandForm.R32, OperandForm.R64, OperandForm.M64)
+    binary_forms = (
+        OperandForm.R32_R32, OperandForm.R64_R64, OperandForm.R32_IMM,
+        OperandForm.R64_IMM, OperandForm.R64_M64, OperandForm.M64_R64,
+    )
+    for mnemonic in arithmetic + logical:
+        category = (InstructionCategory.ARITHMETIC if mnemonic in arithmetic
+                    else InstructionCategory.LOGICAL)
+        iclass = InstructionClass.ALU if mnemonic in arithmetic else InstructionClass.BIT
+        forms = unary_forms if mnemonic in ("INC", "DEC", "NEG", "NOT") else binary_forms
+        for form in forms:
+            cat.add(InstructionSpec(mnemonic, form, iclass, Extension.BASE, category))
+
+    for mnemonic in ("SHL", "SHR", "SAR", "ROL", "ROR", "RCL", "RCR", "SHLD", "SHRD"):
+        for form in (OperandForm.R32_IMM, OperandForm.R64_IMM, OperandForm.R64_R64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.BIT,
+                                    Extension.BASE, InstructionCategory.LOGICAL))
+
+    for mnemonic, iclass, uops, latency in (
+        ("MUL", InstructionClass.MUL, 2, 3), ("IMUL", InstructionClass.MUL, 1, 3),
+        ("DIV", InstructionClass.DIV, 10, 22), ("IDIV", InstructionClass.DIV, 10, 24),
+    ):
+        for form in (OperandForm.R32, OperandForm.R64, OperandForm.R64_R64,
+                     OperandForm.R64_M64):
+            cat.add(InstructionSpec(mnemonic, form, iclass, Extension.BASE,
+                                    InstructionCategory.ARITHMETIC,
+                                    uops=uops, latency=latency))
+
+
+def _data_transfer(cat: IsaCatalog) -> None:
+    for form in (OperandForm.R32_R32, OperandForm.R64_R64, OperandForm.R32_IMM,
+                 OperandForm.R64_IMM):
+        cat.add(InstructionSpec("MOV", form, InstructionClass.MOV, Extension.BASE,
+                                InstructionCategory.DATA_TRANSFER))
+    cat.add(InstructionSpec("MOV", OperandForm.R64_M64, InstructionClass.LOAD,
+                            Extension.BASE, InstructionCategory.DATA_TRANSFER,
+                            latency=4))
+    cat.add(InstructionSpec("MOV", OperandForm.M64_R64, InstructionClass.STORE,
+                            Extension.BASE, InstructionCategory.DATA_TRANSFER))
+    for mnemonic in ("MOVZX", "MOVSX", "MOVSXD", "BSWAP", "XCHG", "XADD",
+                     "CMPXCHG"):
+        for form in (OperandForm.R64_R64, OperandForm.R64_M64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.MOV,
+                                    Extension.BASE,
+                                    InstructionCategory.DATA_TRANSFER))
+    cat.add(InstructionSpec("LEA", OperandForm.R64_M64, InstructionClass.LEA,
+                            Extension.BASE, InstructionCategory.DATA_TRANSFER))
+    for cc in CONDITION_CODES:
+        for form in (OperandForm.R32_R32, OperandForm.R64_R64, OperandForm.R64_M64):
+            cat.add(InstructionSpec(f"CMOV{cc}", form, InstructionClass.MOV,
+                                    Extension.BASE,
+                                    InstructionCategory.DATA_TRANSFER))
+        cat.add(InstructionSpec(f"SET{cc}", OperandForm.R8, InstructionClass.ALU,
+                                Extension.BASE, InstructionCategory.LOGICAL))
+
+
+def _control_flow(cat: IsaCatalog) -> None:
+    for cc in CONDITION_CODES:
+        for form in (OperandForm.REL8, OperandForm.REL32):
+            cat.add(InstructionSpec(f"J{cc}", form, InstructionClass.BRANCH_COND,
+                                    Extension.BASE,
+                                    InstructionCategory.CONTROL_FLOW))
+    for form in (OperandForm.REL8, OperandForm.REL32, OperandForm.R64):
+        cat.add(InstructionSpec("JMP", form, InstructionClass.BRANCH_UNCOND,
+                                Extension.BASE, InstructionCategory.CONTROL_FLOW))
+    for form in (OperandForm.REL32, OperandForm.R64):
+        cat.add(InstructionSpec("CALL", form, InstructionClass.CALL,
+                                Extension.BASE, InstructionCategory.CONTROL_FLOW,
+                                uops=2))
+    cat.add(InstructionSpec("RET", OperandForm.NONE, InstructionClass.RET,
+                            Extension.BASE, InstructionCategory.CONTROL_FLOW,
+                            uops=2))
+    for mnemonic in ("LOOP", "LOOPE", "LOOPNE", "JCXZ", "JECXZ", "JRCXZ"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.REL8,
+                                InstructionClass.BRANCH_COND, Extension.BASE,
+                                InstructionCategory.CONTROL_FLOW))
+
+
+def _stack(cat: IsaCatalog) -> None:
+    for form in (OperandForm.R64, OperandForm.M64, OperandForm.IMM):
+        cat.add(InstructionSpec("PUSH", form, InstructionClass.PUSH,
+                                Extension.BASE, InstructionCategory.STACK))
+    for form in (OperandForm.R64, OperandForm.M64):
+        cat.add(InstructionSpec("POP", form, InstructionClass.POP,
+                                Extension.BASE, InstructionCategory.STACK,
+                                latency=4))
+    for mnemonic in ("PUSHF", "POPF", "ENTER", "LEAVE"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.PUSH,
+                                Extension.BASE, InstructionCategory.STACK, uops=2))
+
+
+def _string_ops(cat: IsaCatalog) -> None:
+    for base in ("MOVS", "STOS", "LODS", "CMPS", "SCAS"):
+        for width in ("B", "W", "D", "Q"):
+            for rep in ("", "REP "):
+                mnemonic = f"{rep}{base}{width}"
+                cat.add(InstructionSpec(mnemonic, OperandForm.NONE,
+                                        InstructionClass.STRING, Extension.BASE,
+                                        InstructionCategory.STRING,
+                                        uops=4 if rep else 2,
+                                        latency=8 if rep else 4))
+
+
+def _x87(cat: IsaCatalog) -> None:
+    binary = ("FADD", "FSUB", "FSUBR", "FMUL", "FDIV", "FDIVR", "FCOM",
+              "FCOMP", "FUCOM")
+    unary = ("FSQRT", "FSIN", "FCOS", "FSINCOS", "FPTAN", "FPATAN", "F2XM1",
+             "FYL2X", "FABS", "FCHS", "FRNDINT", "FSCALE", "FXTRACT", "FPREM",
+             "FPREM1", "FTST", "FXAM", "FLD1", "FLDZ", "FLDPI", "FLDL2E",
+             "FLDL2T", "FLDLG2", "FLDLN2", "FNOP", "FINCSTP", "FDECSTP")
+    for mnemonic in binary:
+        for form in (OperandForm.ST_ST, OperandForm.ST_M64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.X87,
+                                    Extension.X87_FPU, InstructionCategory.FLOAT,
+                                    latency=5))
+    for mnemonic in unary:
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.X87,
+                                Extension.X87_FPU, InstructionCategory.FLOAT,
+                                latency=20 if mnemonic.startswith(("FS", "FP", "F2", "FY")) else 3))
+    for mnemonic, form in (("FLD", OperandForm.ST_M64), ("FST", OperandForm.ST_M64),
+                           ("FSTP", OperandForm.ST_M64), ("FILD", OperandForm.ST_M64),
+                           ("FIST", OperandForm.ST_M64), ("FISTP", OperandForm.ST_M64)):
+        cat.add(InstructionSpec(mnemonic, form, InstructionClass.X87,
+                                Extension.X87_FPU, InstructionCategory.FLOAT,
+                                latency=6))
+
+
+_SIMD_INT_BASES = (
+    "PADD", "PADDS", "PADDUS", "PSUB", "PSUBS", "PSUBUS", "PMULL", "PMULH",
+    "PMADDW", "PCMPEQ", "PCMPGT", "PSLL", "PSRL", "PSRA", "PUNPCKL", "PUNPCKH",
+    "PAVG", "PMAX", "PMIN", "PABS", "PSIGN", "PSHUF", "PHADD", "PHSUB",
+    "PMOVZX", "PMOVSX", "PEXTR", "PINSR",
+)
+_SIMD_INT_NOWIDTH = ("PAND", "PANDN", "POR", "PXOR", "PACKSSWB", "PACKUSWB",
+                     "PALIGNR", "PBLENDW", "PTEST", "PSADBW", "PMULUDQ")
+_SIMD_FP_BASES = (
+    "ADD", "SUB", "MUL", "DIV", "SQRT", "MIN", "MAX", "RCP", "RSQRT", "CMP",
+    "AND", "OR", "XOR", "ANDN", "UNPCKL", "UNPCKH", "SHUF", "BLEND",
+    "DP", "HADD", "HSUB", "ROUND", "MOVA", "MOVU", "CVTDQ2",
+)
+
+
+def _simd(cat: IsaCatalog) -> None:
+    # Integer SIMD grid: base x element width x ISA level x operand form.
+    levels = (
+        ("", Extension.MMX, OperandForm.R64_R64, OperandForm.R64_M64),
+        ("", Extension.SSE2, OperandForm.XMM_XMM, OperandForm.XMM_M128),
+        ("V", Extension.AVX2, OperandForm.YMM_YMM, OperandForm.YMM_M256),
+        ("V", Extension.AVX512, OperandForm.ZMM_ZMM, OperandForm.M256),
+    )
+    for base in _SIMD_INT_BASES:
+        for width in ("B", "W", "D", "Q"):
+            for prefix, ext, reg_form, mem_form in levels:
+                mnemonic = f"{prefix}{base}{width}"
+                for form in (reg_form, mem_form):
+                    try:
+                        cat.add(InstructionSpec(
+                            mnemonic, form, InstructionClass.SIMD_INT, ext,
+                            InstructionCategory.SIMD,
+                            latency=3, width_bits=_level_width(ext)))
+                    except ValueError:
+                        # MMX and SSE2 share un-prefixed mnemonics; the
+                        # wider form wins and the duplicate is skipped.
+                        continue
+    for mnemonic in _SIMD_INT_NOWIDTH:
+        for prefix, ext, reg_form, mem_form in levels:
+            full = f"{prefix}{mnemonic}"
+            for form in (reg_form, mem_form):
+                try:
+                    cat.add(InstructionSpec(full, form, InstructionClass.SIMD_INT,
+                                            ext, InstructionCategory.SIMD,
+                                            width_bits=_level_width(ext)))
+                except ValueError:
+                    continue
+    # Floating-point SIMD grid.
+    fp_levels = (
+        ("", Extension.SSE, OperandForm.XMM_XMM, OperandForm.XMM_M128),
+        ("V", Extension.AVX, OperandForm.YMM_YMM, OperandForm.YMM_M256),
+        ("V", Extension.AVX512, OperandForm.ZMM_ZMM, OperandForm.M256),
+    )
+    for base in _SIMD_FP_BASES:
+        for suffix in ("PS", "PD", "SS", "SD"):
+            for prefix, ext, reg_form, mem_form in fp_levels:
+                mnemonic = f"{prefix}{base}{suffix}"
+                for form in (reg_form, mem_form):
+                    try:
+                        cat.add(InstructionSpec(
+                            mnemonic, form, InstructionClass.SIMD_FP, ext,
+                            InstructionCategory.SIMD,
+                            latency=4 if base not in ("DIV", "SQRT") else 13,
+                            uops=1 if base not in ("DIV", "SQRT") else 3,
+                            width_bits=_level_width(ext)))
+                    except ValueError:
+                        continue
+    # FMA grid.
+    for op in ("VFMADD", "VFMSUB", "VFNMADD", "VFNMSUB"):
+        for order in ("132", "213", "231"):
+            for suffix in ("PS", "PD", "SS", "SD"):
+                for form in (OperandForm.XMM_XMM, OperandForm.XMM_M128,
+                             OperandForm.YMM_YMM, OperandForm.YMM_M256):
+                    cat.add(InstructionSpec(f"{op}{order}{suffix}", form,
+                                            InstructionClass.FMA, Extension.FMA,
+                                            InstructionCategory.SIMD, latency=4,
+                                            width_bits=256))
+
+
+def _level_width(extension: Extension) -> int:
+    return {Extension.MMX: 64, Extension.SSE: 128, Extension.SSE2: 128,
+            Extension.AVX: 256, Extension.AVX2: 256,
+            Extension.AVX512: 512}.get(extension, 128)
+
+
+def _crypto_bmi(cat: IsaCatalog) -> None:
+    for mnemonic in ("AESENC", "AESENCLAST", "AESDEC", "AESDECLAST",
+                     "AESIMC", "AESKEYGENASSIST", "PCLMULQDQ"):
+        for form in (OperandForm.XMM_XMM, OperandForm.XMM_M128):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.CRYPTO,
+                                    Extension.AES, InstructionCategory.CRYPTO,
+                                    latency=4))
+    for mnemonic in ("SHA1RNDS4", "SHA1NEXTE", "SHA1MSG1", "SHA1MSG2",
+                     "SHA256RNDS2", "SHA256MSG1", "SHA256MSG2"):
+        for form in (OperandForm.XMM_XMM, OperandForm.XMM_M128):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.CRYPTO,
+                                    Extension.SHA, InstructionCategory.CRYPTO,
+                                    latency=5))
+    bmi1 = ("ANDN", "BEXTR", "BLSI", "BLSMSK", "BLSR", "TZCNT")
+    bmi2 = ("BZHI", "PDEP", "PEXT", "RORX", "SARX", "SHLX", "SHRX", "MULX")
+    for mnemonic in bmi1 + bmi2:
+        ext = Extension.BMI1 if mnemonic in bmi1 else Extension.BMI2
+        for form in (OperandForm.R64_R64, OperandForm.R64_M64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.BIT, ext,
+                                    InstructionCategory.LOGICAL))
+    for mnemonic in ("LZCNT", "POPCNT", "BSF", "BSR", "BT", "BTS", "BTR", "BTC"):
+        for form in (OperandForm.R64_R64, OperandForm.R64_M64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.BIT,
+                                    Extension.BASE, InstructionCategory.LOGICAL))
+    for mnemonic in ("ADCX", "ADOX"):
+        for form in (OperandForm.R64_R64, OperandForm.R64_M64):
+            cat.add(InstructionSpec(mnemonic, form, InstructionClass.ALU,
+                                    Extension.ADX, InstructionCategory.ARITHMETIC))
+
+
+def _cache_and_system(cat: IsaCatalog) -> None:
+    cat.add(InstructionSpec("CLFLUSH", OperandForm.M8, InstructionClass.CLFLUSH,
+                            Extension.BASE, InstructionCategory.CACHE_CONTROL,
+                            uops=2, latency=100))
+    cat.add(InstructionSpec("CLFLUSHOPT", OperandForm.M8, InstructionClass.CLFLUSH,
+                            Extension.CLFLUSHOPT,
+                            InstructionCategory.CACHE_CONTROL, uops=2, latency=90))
+    cat.add(InstructionSpec("CLWB", OperandForm.M8, InstructionClass.CLFLUSH,
+                            Extension.CLFLUSHOPT,
+                            InstructionCategory.CACHE_CONTROL, uops=2, latency=80))
+    for mnemonic in ("PREFETCHT0", "PREFETCHT1", "PREFETCHT2", "PREFETCHNTA"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.M8, InstructionClass.PREFETCH,
+                                Extension.SSE, InstructionCategory.CACHE_CONTROL))
+    cat.add(InstructionSpec("PREFETCHW", OperandForm.M8, InstructionClass.PREFETCH,
+                            Extension.PREFETCHW, InstructionCategory.CACHE_CONTROL))
+    for mnemonic, ext in (("MOVNTI", Extension.SSE2), ("MOVNTDQ", Extension.SSE2),
+                          ("MOVNTPS", Extension.SSE), ("MOVNTPD", Extension.SSE2)):
+        cat.add(InstructionSpec(mnemonic, OperandForm.M128_XMM
+                                if mnemonic != "MOVNTI" else OperandForm.M64_R64,
+                                InstructionClass.STORE, ext,
+                                InstructionCategory.CACHE_CONTROL))
+    for mnemonic in ("LFENCE", "MFENCE", "SFENCE"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.FENCE,
+                                Extension.SSE2, InstructionCategory.SYSTEM,
+                                latency=6))
+    cat.add(InstructionSpec("CPUID", OperandForm.NONE, InstructionClass.SERIALIZE,
+                            Extension.BASE, InstructionCategory.SYSTEM,
+                            uops=30, latency=100))
+    cat.add(InstructionSpec("RDPMC", OperandForm.NONE, InstructionClass.RDPMC,
+                            Extension.BASE, InstructionCategory.SYSTEM,
+                            uops=10, latency=30))
+    for mnemonic in ("RDTSC", "RDTSCP", "XGETBV", "RDRAND", "RDSEED", "PAUSE"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.SYSTEM,
+                                Extension.BASE, InstructionCategory.SYSTEM,
+                                uops=4, latency=25))
+    for mnemonic in ("INVLPG", "WBINVD", "INVD", "HLT", "RDMSR", "WRMSR",
+                     "LGDT", "LIDT", "LTR", "CLTS", "IN", "OUT", "CLI", "STI",
+                     "MONITOR", "MWAIT", "SWAPGS", "VMCALL", "VMMCALL"):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.SYSTEM,
+                                Extension.BASE, InstructionCategory.SYSTEM,
+                                uops=20, latency=150))
+    cat.add(InstructionSpec("NOP", OperandForm.NONE, InstructionClass.NOP,
+                            Extension.BASE, InstructionCategory.MISC))
+    for width in ("2", "3", "4", "5", "6", "7", "8", "9"):
+        cat.add(InstructionSpec(f"NOP{width}B", OperandForm.NONE,
+                                InstructionClass.NOP, Extension.BASE,
+                                InstructionCategory.MISC))
+    for mnemonic, ext in (("XBEGIN", Extension.TSX), ("XEND", Extension.TSX),
+                          ("XABORT", Extension.TSX), ("XTEST", Extension.TSX),
+                          ("BNDMK", Extension.MPX), ("BNDCL", Extension.MPX),
+                          ("BNDCU", Extension.MPX), ("BNDMOV", Extension.MPX),
+                          ("ENDBR64", Extension.CET), ("RDSSPQ", Extension.CET),
+                          ("INCSSPQ", Extension.CET),
+                          ("XSTORE", Extension.VIA_PADLOCK),
+                          ("XCRYPTECB", Extension.VIA_PADLOCK)):
+        cat.add(InstructionSpec(mnemonic, OperandForm.NONE, InstructionClass.SYSTEM,
+                                ext, InstructionCategory.SYSTEM, uops=6,
+                                latency=40))
+
+
+#: Encoding tags compatible with each instruction class (stage 2).
+_ENCODABLE_CLASSES = {
+    "REX": None,  # None means "any class"
+    "LOCK": {InstructionClass.ALU, InstructionClass.BIT, InstructionClass.MOV,
+             InstructionClass.STORE},
+    "VEX.128": {InstructionClass.SIMD_INT, InstructionClass.SIMD_FP,
+                InstructionClass.FMA, InstructionClass.CRYPTO},
+    "VEX.256": {InstructionClass.SIMD_INT, InstructionClass.SIMD_FP,
+                InstructionClass.FMA},
+    "EVEX.512": {InstructionClass.SIMD_INT, InstructionClass.SIMD_FP,
+                 InstructionClass.FMA},
+    "XACQ": {InstructionClass.STORE, InstructionClass.MOV},
+    "BND": {InstructionClass.BRANCH_COND, InstructionClass.BRANCH_UNCOND,
+            InstructionClass.CALL, InstructionClass.RET},
+    "O16": None,  # operand-size override applies everywhere
+    "SEG.FS": {InstructionClass.LOAD, InstructionClass.STORE,
+               InstructionClass.MOV, InstructionClass.ALU,
+               InstructionClass.BIT, InstructionClass.CLFLUSH,
+               InstructionClass.PREFETCH},
+    "SEG.GS": {InstructionClass.LOAD, InstructionClass.STORE,
+               InstructionClass.MOV, InstructionClass.ALU,
+               InstructionClass.BIT, InstructionClass.CLFLUSH,
+               InstructionClass.PREFETCH},
+}
+
+#: Extension implied by an encoding tag (overrides the base variant's).
+_ENCODING_EXTENSION = {
+    "VEX.128": Extension.AVX,
+    "VEX.256": Extension.AVX,
+    "EVEX.512": Extension.AVX512,
+    "XACQ": Extension.TSX,
+    "BND": Extension.MPX,
+}
+
+
+def _expand_encodings(cat: IsaCatalog, target_size: int) -> None:
+    """Stage 2: append encoding variants until ``target_size`` entries.
+
+    Tags are applied in deterministic order over the current variant
+    list; if one pass is not enough, subsequent passes combine tags
+    (e.g. ``ADD r64,r64 [REX] [LOCK]``), just as real encodings compose.
+    """
+    while len(cat) < target_size:
+        grown = False
+        source_variants = list(cat.variants)
+        for tag in ENCODING_TAGS:
+            if len(cat) >= target_size:
+                return
+            allowed = _ENCODABLE_CLASSES[tag]
+            for base in source_variants:
+                if len(cat) >= target_size:
+                    return
+                if allowed is not None and base.iclass not in allowed:
+                    continue
+                if f"[{tag}]" in base.mnemonic:
+                    continue
+                extension = _ENCODING_EXTENSION.get(tag, base.extension)
+                encoded = InstructionSpec(
+                    mnemonic=f"{base.mnemonic} [{tag}]",
+                    operand_form=base.operand_form,
+                    iclass=base.iclass,
+                    extension=extension,
+                    category=base.category,
+                    uops=base.uops,
+                    latency=base.latency,
+                    width_bits=base.width_bits,
+                )
+                try:
+                    cat.add(encoded)
+                    grown = True
+                except ValueError:
+                    continue
+        if not grown:
+            raise ValueError(
+                f"catalog generation exhausted encodings at {len(cat)} "
+                f"variants, cannot reach target_size={target_size}"
+            )
+
+
+def build_catalog(isa_name: str = "x86-sim",
+                  target_size: int = DEFAULT_CATALOG_SIZE) -> IsaCatalog:
+    """Build the machine-readable catalog for ``isa_name``.
+
+    The catalog is fully deterministic: same name and size always yield
+    the same variant list in the same order.
+    """
+    if target_size < 1:
+        raise ValueError(f"target_size must be positive, got {target_size}")
+    cat = IsaCatalog(isa_name=isa_name)
+    _scalar_alu(cat)
+    _data_transfer(cat)
+    _control_flow(cat)
+    _stack(cat)
+    _string_ops(cat)
+    _x87(cat)
+    _simd(cat)
+    _crypto_bmi(cat)
+    _cache_and_system(cat)
+    if len(cat) > target_size:
+        del cat.variants[target_size:]
+        cat._by_name = {v.name: v for v in cat.variants}
+    else:
+        _expand_encodings(cat, target_size)
+    return cat

@@ -1,0 +1,54 @@
+"""A small numpy neural-network substrate.
+
+PyTorch is unavailable offline, so the attack models (the paper's CNN
+website/keystroke classifiers and GRU+CTC model-extraction network) are
+implemented here from scratch: dense/conv/batch-norm/dropout layers, a
+GRU, CTC-style decoding, cross-entropy training with SGD/Adam, and the
+usual metrics.
+"""
+
+from repro.ml.layers import (
+    BatchNorm,
+    Conv1d,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool1d,
+    Relu,
+)
+from repro.ml.losses import SoftmaxCrossEntropy, softmax
+from repro.ml.optimizers import SGD, Adam
+from repro.ml.network import Network, TrainingHistory
+from repro.ml.rnn import GruLayer, BiGruSequenceClassifier
+from repro.ml.ctc import collapse_repeats, edit_distance, greedy_decode, sequence_accuracy
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.templates import (
+    NearestTemplateClassifier,
+    PooledGaussianTemplateClassifier,
+)
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "BiGruSequenceClassifier",
+    "Conv1d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GruLayer",
+    "MaxPool1d",
+    "NearestTemplateClassifier",
+    "Network",
+    "PooledGaussianTemplateClassifier",
+    "Relu",
+    "SGD",
+    "SoftmaxCrossEntropy",
+    "TrainingHistory",
+    "accuracy_score",
+    "collapse_repeats",
+    "confusion_matrix",
+    "edit_distance",
+    "greedy_decode",
+    "sequence_accuracy",
+    "softmax",
+]

@@ -1,0 +1,186 @@
+"""CTC-style sequence decoding and edit-distance scoring.
+
+The MEA attack's per-frame predictions are collapsed CTC-style (merge
+repeats, drop blanks) into a layer sequence; the paper's accuracy metric
+"reflects the statistics of matched layers between prediction and label
+sequences", which we compute as 1 minus the normalized Levenshtein
+distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collapse_repeats(frames: "list[int] | np.ndarray",
+                     blank: int = 0) -> list[int]:
+    """Merge consecutive duplicates, then remove blanks."""
+    out: list[int] = []
+    previous = None
+    for label in frames:
+        label = int(label)
+        if label != previous:
+            if label != blank:
+                out.append(label)
+            previous = label
+    return out
+
+
+def greedy_decode(frame_probs: np.ndarray, blank: int = 0) -> list[int]:
+    """Best-path decode: per-frame argmax, then CTC collapse.
+
+    ``frame_probs`` is (T, num_classes) of probabilities or logits.
+    """
+    if frame_probs.ndim != 2:
+        raise ValueError(
+            f"frame_probs must be 2-D (T, C), got shape {frame_probs.shape}")
+    return collapse_repeats(frame_probs.argmax(axis=1), blank=blank)
+
+
+def beam_search_decode(frame_probs: np.ndarray, beam_width: int = 8,
+                       blank: int = 0) -> list[int]:
+    """Prefix beam search over per-frame probability distributions.
+
+    A compact CTC prefix search: maintains the ``beam_width`` most
+    probable collapsed prefixes, tracking blank/non-blank ending mass.
+    """
+    if frame_probs.ndim != 2:
+        raise ValueError("frame_probs must be 2-D (T, C)")
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    probs = frame_probs / np.clip(frame_probs.sum(axis=1, keepdims=True),
+                                  1e-12, None)
+    # prefix -> (prob ending in blank, prob ending in non-blank)
+    beams: dict[tuple[int, ...], tuple[float, float]] = {(): (1.0, 0.0)}
+    for t in range(probs.shape[0]):
+        frame = probs[t]
+        new_beams: dict[tuple[int, ...], list[float]] = {}
+
+        def _add(prefix: tuple[int, ...], p_blank: float, p_label: float) -> None:
+            entry = new_beams.setdefault(prefix, [0.0, 0.0])
+            entry[0] += p_blank
+            entry[1] += p_label
+
+        for prefix, (p_b, p_nb) in beams.items():
+            total = p_b + p_nb
+            # Extend with blank: prefix unchanged.
+            _add(prefix, total * frame[blank], 0.0)
+            for label in range(len(frame)):
+                if label == blank:
+                    continue
+                p = frame[label]
+                if prefix and prefix[-1] == label:
+                    # Repeat: merges unless a blank separated them.
+                    _add(prefix, 0.0, p_nb * p)
+                    _add(prefix + (label,), 0.0, p_b * p)
+                else:
+                    _add(prefix + (label,), 0.0, total * p)
+        ranked = sorted(new_beams.items(), key=lambda kv: -(kv[1][0] + kv[1][1]))
+        beams = {prefix: (v[0], v[1]) for prefix, v in ranked[:beam_width]}
+    best = max(beams.items(), key=lambda kv: kv[1][0] + kv[1][1])[0]
+    return list(best)
+
+
+def bigram_counts(sequences: "list[list[int]]", num_classes: int,
+                  smoothing: float = 0.1) -> np.ndarray:
+    """Add-k smoothed bigram transition matrix P(next | previous).
+
+    Row index is the previous label (0 = sequence start), column the
+    next label. Estimated from the attacker's template sequences and
+    used as the language model in :func:`lm_beam_decode`.
+    """
+    if num_classes < 2:
+        raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+    if smoothing <= 0:
+        raise ValueError(f"smoothing must be positive, got {smoothing}")
+    counts = np.full((num_classes, num_classes), smoothing)
+    for sequence in sequences:
+        previous = 0
+        for label in sequence:
+            counts[previous, label] += 1.0
+            previous = label
+    return counts / counts.sum(axis=1, keepdims=True)
+
+
+def lm_beam_decode(frame_probs: np.ndarray, transition: np.ndarray,
+                   beam_width: int = 8, blank: int = 0,
+                   lm_weight: float = 1.0,
+                   insertion_bonus: float = 1.0) -> list[int]:
+    """CTC prefix beam search with a bigram transition prior.
+
+    Framewise classifiers under-segment: a short layer sandwiched
+    between two long ones rarely wins the per-frame argmax, so the two
+    neighbours merge in the best-path collapse. Scoring each *emission*
+    with ``P(label | previous label)^lm_weight * insertion_bonus`` lets
+    the beam recover transitions the template sequences say must be
+    there — the paper's "best predicted layer sequence is identified
+    with the beam search". ``insertion_bonus > 1`` counteracts the
+    structural bias against emitting (a skipped emission pays no LM
+    cost at all).
+    """
+    if frame_probs.ndim != 2:
+        raise ValueError("frame_probs must be 2-D (T, C)")
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    probs = frame_probs / np.clip(frame_probs.sum(axis=1, keepdims=True),
+                                  1e-12, None)
+    beams: dict[tuple[int, ...], tuple[float, float]] = {(): (1.0, 0.0)}
+    for t in range(probs.shape[0]):
+        frame = probs[t]
+        new_beams: dict[tuple[int, ...], list[float]] = {}
+
+        def _add(prefix: tuple[int, ...], p_blank: float,
+                 p_label: float) -> None:
+            entry = new_beams.setdefault(prefix, [0.0, 0.0])
+            entry[0] += p_blank
+            entry[1] += p_label
+
+        for prefix, (p_b, p_nb) in beams.items():
+            total = p_b + p_nb
+            _add(prefix, total * frame[blank], 0.0)
+            previous = prefix[-1] if prefix else 0
+            for label in range(len(frame)):
+                if label == blank:
+                    continue
+                lm = transition[previous, label] ** lm_weight \
+                    * insertion_bonus
+                p = frame[label]
+                if prefix and prefix[-1] == label:
+                    _add(prefix, 0.0, p_nb * p)
+                    _add(prefix + (label,), 0.0, p_b * p * lm)
+                else:
+                    _add(prefix + (label,), 0.0, total * p * lm)
+        ranked = sorted(new_beams.items(),
+                        key=lambda kv: -(kv[1][0] + kv[1][1]))
+        beams = {}
+        for prefix, (p_b, p_nb) in ranked[:beam_width]:
+            norm = sum(v[0] + v[1] for _, v in ranked[:beam_width])
+            beams[prefix] = (p_b / max(norm, 1e-300),
+                             p_nb / max(norm, 1e-300))
+    best = max(beams.items(), key=lambda kv: kv[1][0] + kv[1][1])[0]
+    return list(best)
+
+
+def edit_distance(a: "list[int]", b: "list[int]") -> int:
+    """Levenshtein distance between two label sequences."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, x in enumerate(a, start=1):
+        current = [i]
+        for j, y in enumerate(b, start=1):
+            cost = 0 if x == y else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1,
+                               previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def sequence_accuracy(predicted: "list[int]", truth: "list[int]") -> float:
+    """Layer-match accuracy: 1 - normalized edit distance."""
+    if not predicted and not truth:
+        return 1.0
+    denom = max(len(predicted), len(truth))
+    return max(0.0, 1.0 - edit_distance(predicted, truth) / denom)

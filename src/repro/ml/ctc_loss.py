@@ -1,0 +1,138 @@
+"""Connectionist Temporal Classification loss (forward-backward).
+
+The paper's MEA network is an RNN "with the CTC decoder" — trained
+without frame alignment: the loss marginalizes over every monotonic
+alignment between the frame sequence and the (shorter) label sequence.
+This module implements the standard log-space forward-backward
+recursion and its gradient with respect to the per-frame logits,
+enabling alignment-free training as an alternative to the framewise
+mode (which exploits the attacker's template-VM alignment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.losses import softmax
+
+_NEG_INF = -1e30
+
+
+def _log_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise log(exp(a) + exp(b)) with -inf handling."""
+    hi = np.maximum(a, b)
+    lo = np.minimum(a, b)
+    out = hi + np.log1p(np.exp(np.maximum(lo - hi, -60.0)))
+    return np.where(hi <= _NEG_INF / 2, _NEG_INF, out)
+
+
+def _extend_labels(labels: "list[int]", blank: int) -> np.ndarray:
+    """Interleave blanks: l -> [b, l1, b, l2, ..., b]."""
+    extended = np.full(2 * len(labels) + 1, blank, dtype=int)
+    extended[1::2] = labels
+    return extended
+
+
+def ctc_forward_backward(log_probs: np.ndarray, labels: "list[int]",
+                         blank: int = 0
+                         ) -> tuple[float, np.ndarray, np.ndarray,
+                                    np.ndarray]:
+    """Run the CTC recursions for one sequence.
+
+    Parameters
+    ----------
+    log_probs:
+        (T, C) log-softmax frame distributions.
+    labels:
+        Target label sequence (no blanks, values != ``blank``).
+
+    Returns ``(log_likelihood, alpha, beta, extended)``.
+    """
+    t_len, _ = log_probs.shape
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    extended = _extend_labels(labels, blank)
+    s_len = len(extended)
+    if s_len > 2 * t_len + 1:
+        raise ValueError(
+            f"label sequence (length {len(labels)}) too long for "
+            f"{t_len} frames")
+    emit = log_probs[:, extended]                   # (T, S)
+    # Skip connections: allowed where the symbol differs from the one
+    # two positions back (and is not blank).
+    can_skip = np.zeros(s_len, dtype=bool)
+    can_skip[2:] = (extended[2:] != blank) & (extended[2:] != extended[:-2])
+
+    alpha = np.full((t_len, s_len), _NEG_INF)
+    alpha[0, 0] = emit[0, 0]
+    if s_len > 1:
+        alpha[0, 1] = emit[0, 1]
+    for t in range(1, t_len):
+        stay = alpha[t - 1]
+        step = np.full(s_len, _NEG_INF)
+        step[1:] = alpha[t - 1, :-1]
+        skip = np.full(s_len, _NEG_INF)
+        skip[2:] = np.where(can_skip[2:], alpha[t - 1, :-2], _NEG_INF)
+        alpha[t] = _log_add(_log_add(stay, step), skip) + emit[t]
+
+    beta = np.full((t_len, s_len), _NEG_INF)
+    beta[-1, -1] = emit[-1, -1]
+    if s_len > 1:
+        beta[-1, -2] = emit[-1, -2]
+    for t in range(t_len - 2, -1, -1):
+        stay = beta[t + 1]
+        step = np.full(s_len, _NEG_INF)
+        step[:-1] = beta[t + 1, 1:]
+        skip = np.full(s_len, _NEG_INF)
+        skip[:-2] = np.where(can_skip[2:], beta[t + 1, 2:], _NEG_INF)
+        beta[t] = _log_add(_log_add(stay, step), skip) + emit[t]
+
+    tail = alpha[-1, -1]
+    if s_len > 1:
+        tail = _log_add(np.array(tail), np.array(alpha[-1, -2])).item()
+    return float(tail), alpha, beta, extended
+
+
+def ctc_loss_and_grad(logits: np.ndarray, labels: "list[int]",
+                      blank: int = 0) -> tuple[float, np.ndarray]:
+    """CTC negative log-likelihood and its gradient wrt the logits.
+
+    Follows Graves et al. (2006): with alpha/beta both including the
+    frame emission at t, the posterior symbol occupancy is
+    ``gamma[t, s] = alpha[t, s] + beta[t, s] - emit[t, s]`` and
+
+        dL/d logits[t, k] = y[t, k] - sum_{s: l'[s]=k}
+                            exp(gamma[t, s] - logZ)
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (T, C), got {logits.shape}")
+    probs = softmax(logits)
+    log_probs = np.log(np.clip(probs, 1e-30, None))
+    log_z, alpha, beta, extended = ctc_forward_backward(
+        log_probs, labels, blank)
+    if log_z <= _NEG_INF / 2:
+        # No feasible alignment (should be excluded by length checks).
+        return float("inf"), np.zeros_like(logits)
+    emit = log_probs[:, extended]
+    gamma = alpha + beta - emit                      # (T, S)
+    occupancy = np.exp(np.clip(gamma - log_z, -60.0, 0.0))
+    target = np.zeros_like(probs)
+    np.add.at(target.T, extended, occupancy.T)
+    grad = probs - target
+    return -log_z, grad
+
+
+def ctc_batch_loss(logits_batch: np.ndarray,
+                   label_sequences: "list[list[int]]",
+                   blank: int = 0) -> tuple[float, np.ndarray]:
+    """Mean CTC loss and gradients over a batch of equal-length frames."""
+    if len(logits_batch) != len(label_sequences):
+        raise ValueError("batch size mismatch")
+    grads = np.zeros_like(logits_batch)
+    total = 0.0
+    for i, labels in enumerate(label_sequences):
+        loss, grad = ctc_loss_and_grad(logits_batch[i], labels, blank)
+        total += loss
+        grads[i] = grad
+    n = max(1, len(label_sequences))
+    return total / n, grads / n

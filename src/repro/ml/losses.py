@@ -1,0 +1,62 @@
+"""Losses and the softmax helper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy for integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray,
+                sample_weight: np.ndarray | None = None) -> float:
+        """Mean (optionally weighted) cross-entropy of a batch.
+
+        ``sample_weight`` re-weights each example's contribution —
+        used for class balancing in framewise sequence training where
+        one layer kind can dominate the frames.
+        """
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch "
+                f"{logits.shape[0]}")
+        if sample_weight is not None and sample_weight.shape != labels.shape:
+            raise ValueError("sample_weight must match labels shape")
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        self._weights = sample_weight
+        picked = probs[np.arange(len(labels)), labels]
+        losses = -np.log(np.clip(picked, 1e-12, None))
+        if sample_weight is not None:
+            return float((losses * sample_weight).sum()
+                         / max(sample_weight.sum(), 1e-12))
+        return float(losses.mean())
+
+    def backward(self) -> np.ndarray:
+        assert self._probs is not None and self._labels is not None, \
+            "backward before forward"
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        if self._weights is not None:
+            grad *= self._weights[:, None]
+            return grad / max(self._weights.sum(), 1e-12)
+        return grad / len(self._labels)

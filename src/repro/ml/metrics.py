@@ -1,0 +1,30 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    """(true, predicted) count matrix."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=0),
+                              y_pred.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix

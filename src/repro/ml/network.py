@@ -1,0 +1,136 @@
+"""Sequential network container and the training loop.
+
+``Network.fit`` records per-epoch accuracy/loss on both splits — the
+training curves of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.layers import Layer
+from repro.ml.losses import SoftmaxCrossEntropy, softmax
+from repro.ml.metrics import accuracy_score
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves (paper Fig. 1)."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracy[-1] if self.val_accuracy else 0.0
+
+
+class Network:
+    """A feed-forward stack trained with softmax cross-entropy."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("layers must be non-empty")
+        self.layers = layers
+        self.loss = SoftmaxCrossEntropy()
+
+    # -- inference ----------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, evaluated in batches."""
+        outputs = [softmax(self.forward(x[i:i + batch_size]))
+                   for i in range(0, len(x), batch_size)]
+        return np.vstack(outputs)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Hard class predictions."""
+        return self.predict_proba(x, batch_size).argmax(axis=1)
+
+    # -- training -----------------------------------------------------
+
+    def _backward(self) -> None:
+        grad = self.loss.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def parameters(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        params: list[np.ndarray] = []
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.params)
+            grads.extend(layer.grads)
+        return params, grads
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> tuple[float, float]:
+        """(loss, accuracy) on a dataset without updating weights."""
+        losses = []
+        preds = []
+        for i in range(0, len(x), batch_size):
+            logits = self.forward(x[i:i + batch_size], training=False)
+            losses.append(self.loss.forward(logits, y[i:i + batch_size])
+                          * len(logits))
+            preds.append(logits.argmax(axis=1))
+        loss = float(np.sum(losses) / len(x))
+        acc = accuracy_score(y, np.concatenate(preds))
+        return loss, acc
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            x_val: np.ndarray | None = None, y_val: np.ndarray | None = None,
+            epochs: int = 20, batch_size: int = 32, optimizer=None,
+            lr_decay: float = 1.0,
+            rng: "int | np.random.Generator | None" = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train with minibatch gradient descent; returns the curves.
+
+        ``lr_decay`` multiplies the optimizer's learning rate after each
+        epoch (1.0 = constant); a mild decay stabilizes the final
+        epochs on small datasets.
+        """
+        if len(x) != len(y):
+            raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+        if not 0.0 < lr_decay <= 1.0:
+            raise ValueError(f"lr_decay must be in (0, 1], got {lr_decay}")
+        if optimizer is None:
+            from repro.ml.optimizers import Adam
+            optimizer = Adam(lr=1e-3)
+        gen = ensure_rng(rng)
+        params, grads = self.parameters()
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            optimizer.lr *= 1.0 if epoch == 0 else lr_decay
+            order = gen.permutation(len(x))
+            epoch_loss = 0.0
+            epoch_correct = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start:start + batch_size]
+                logits = self.forward(x[batch], training=True)
+                loss = self.loss.forward(logits, y[batch])
+                self._backward()
+                optimizer.step(params, grads)
+                epoch_loss += loss * len(batch)
+                epoch_correct += int((logits.argmax(axis=1) == y[batch]).sum())
+            history.train_loss.append(epoch_loss / len(x))
+            history.train_accuracy.append(epoch_correct / len(x))
+            if x_val is not None and y_val is not None:
+                val_loss, val_acc = self.evaluate(x_val, y_val)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+            if verbose:
+                msg = (f"epoch {epoch + 1}/{epochs} "
+                       f"loss={history.train_loss[-1]:.4f} "
+                       f"acc={history.train_accuracy[-1]:.4f}")
+                if history.val_accuracy:
+                    msg += f" val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+        return history

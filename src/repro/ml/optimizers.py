@@ -1,0 +1,61 @@
+"""Parameter-update rules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        for param, grad in zip(params, grads):
+            key = id(param)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+                self._velocity[key] = velocity
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param += velocity
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        self._t += 1
+        for param, grad in zip(params, grads):
+            key = id(param)
+            m = self._m.setdefault(key, np.zeros_like(param))
+            v = self._v.setdefault(key, np.zeros_like(param))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

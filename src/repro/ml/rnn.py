@@ -1,0 +1,262 @@
+"""GRU layers and a bidirectional GRU sequence classifier.
+
+The paper's model-extraction attack uses a bidirectional GRU with a CTC
+decoder to map HPC traces to layer sequences. This module provides a
+numpy GRU with full backpropagation through time and a BiGRU classifier
+producing per-frame class logits; decoding lives in :mod:`repro.ml.ctc`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.losses import SoftmaxCrossEntropy
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class GruLayer:
+    """A single-direction GRU over (N, T, F) inputs.
+
+    Weights follow the standard formulation:
+
+        z = sigmoid(x Wz + h Uz + bz)
+        r = sigmoid(x Wr + h Ur + br)
+        n = tanh(x Wn + (r * h) Un + bn)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("input_size and hidden_size must be >= 1")
+        gen = ensure_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale_x = np.sqrt(1.0 / input_size)
+        scale_h = np.sqrt(1.0 / hidden_size)
+
+        def w_x():
+            return gen.normal(0.0, scale_x, (input_size, hidden_size))
+
+        def w_h():
+            return gen.normal(0.0, scale_h, (hidden_size, hidden_size))
+
+        self.Wz, self.Wr, self.Wn = w_x(), w_x(), w_x()
+        self.Uz, self.Ur, self.Un = w_h(), w_h(), w_h()
+        self.bz = np.zeros(hidden_size)
+        self.br = np.zeros(hidden_size)
+        self.bn = np.zeros(hidden_size)
+        self.params = [self.Wz, self.Wr, self.Wn, self.Uz, self.Ur, self.Un,
+                       self.bz, self.br, self.bn]
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the GRU; returns hidden states of shape (N, T, H)."""
+        n_batch, t_len, _ = x.shape
+        h = np.zeros((n_batch, self.hidden_size))
+        hs = np.empty((n_batch, t_len, self.hidden_size))
+        zs, rs, ns, h_prevs = [], [], [], []
+        for t in range(t_len):
+            xt = x[:, t, :]
+            z = _sigmoid(xt @ self.Wz + h @ self.Uz + self.bz)
+            r = _sigmoid(xt @ self.Wr + h @ self.Ur + self.br)
+            n = np.tanh(xt @ self.Wn + (r * h) @ self.Un + self.bn)
+            h_prevs.append(h)
+            h = (1 - z) * n + z * h
+            hs[:, t, :] = h
+            zs.append(z)
+            rs.append(r)
+            ns.append(n)
+        self._cache = {"x": x, "zs": zs, "rs": rs, "ns": ns,
+                       "h_prevs": h_prevs}
+        return hs
+
+    def backward(self, grad_hs: np.ndarray) -> np.ndarray:
+        """BPTT given d(loss)/d(hidden states); returns d(loss)/dx."""
+        assert self._cache is not None, "backward before forward"
+        cache = self._cache
+        x = cache["x"]
+        n_batch, t_len, _ = x.shape
+        for g in self.grads:
+            g[...] = 0.0
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n_batch, self.hidden_size))
+        for t in range(t_len - 1, -1, -1):
+            z = cache["zs"][t]
+            r = cache["rs"][t]
+            n = cache["ns"][t]
+            h_prev = cache["h_prevs"][t]
+            xt = x[:, t, :]
+            dh = grad_hs[:, t, :] + dh_next
+            dn = dh * (1 - z)
+            dz = dh * (h_prev - n)
+            dn_pre = dn * (1 - n * n)
+            dz_pre = dz * z * (1 - z)
+            dr = (dn_pre @ self.Un.T) * h_prev
+            dr_pre = dr * r * (1 - r)
+            # Parameter gradients (index order matches self.params).
+            self.grads[0] += xt.T @ dz_pre          # Wz
+            self.grads[1] += xt.T @ dr_pre          # Wr
+            self.grads[2] += xt.T @ dn_pre          # Wn
+            self.grads[3] += h_prev.T @ dz_pre      # Uz
+            self.grads[4] += h_prev.T @ dr_pre      # Ur
+            self.grads[5] += (r * h_prev).T @ dn_pre  # Un
+            self.grads[6] += dz_pre.sum(axis=0)     # bz
+            self.grads[7] += dr_pre.sum(axis=0)     # br
+            self.grads[8] += dn_pre.sum(axis=0)     # bn
+            dx[:, t, :] = (dz_pre @ self.Wz.T + dr_pre @ self.Wr.T
+                           + dn_pre @ self.Wn.T)
+            dh_next = (dh * z
+                       + dz_pre @ self.Uz.T
+                       + dr_pre @ self.Ur.T
+                       + (dn_pre @ self.Un.T) * r)
+        return dx
+
+
+class BiGruSequenceClassifier:
+    """BiGRU + per-frame linear head for sequence labeling.
+
+    Trains with framewise cross-entropy against aligned frame labels
+    (the attacker controls the template VM, so offline alignment is
+    available); decoding to a layer sequence is CTC-style collapse in
+    :mod:`repro.ml.ctc`.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_classes: int,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        gen = ensure_rng(rng)
+        fwd_rng, bwd_rng, head_rng = spawn_rng(gen, 3)
+        self.forward_gru = GruLayer(input_size, hidden_size, rng=fwd_rng)
+        self.backward_gru = GruLayer(input_size, hidden_size, rng=bwd_rng)
+        scale = np.sqrt(2.0 / (2 * hidden_size))
+        self.W_out = head_rng.normal(0.0, scale, (2 * hidden_size, num_classes))
+        self.b_out = np.zeros(num_classes)
+        self.num_classes = num_classes
+        self.loss = SoftmaxCrossEntropy()
+        self.params = (self.forward_gru.params + self.backward_gru.params
+                       + [self.W_out, self.b_out])
+        self.grads = (self.forward_gru.grads + self.backward_gru.grads
+                      + [np.zeros_like(self.W_out), np.zeros_like(self.b_out)])
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Per-frame logits of shape (N, T, num_classes)."""
+        hs_fwd = self.forward_gru.forward(x, training)
+        hs_bwd = self.backward_gru.forward(x[:, ::-1, :], training)[:, ::-1, :]
+        hidden = np.concatenate([hs_fwd, hs_bwd], axis=2)
+        self._cache = {"hidden": hidden}
+        return hidden @ self.W_out + self.b_out
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backprop from per-frame logit gradients."""
+        assert self._cache is not None, "backward before forward"
+        hidden = self._cache["hidden"]
+        n, t, _ = grad_logits.shape
+        hidden2 = hidden.reshape(n * t, -1)
+        grad2 = grad_logits.reshape(n * t, -1)
+        self.grads[-2][...] = hidden2.T @ grad2
+        self.grads[-1][...] = grad2.sum(axis=0)
+        dhidden = (grad2 @ self.W_out.T).reshape(n, t, -1)
+        h = dhidden.shape[2] // 2
+        self.forward_gru.backward(dhidden[:, :, :h])
+        self.backward_gru.backward(dhidden[:, ::-1, h:])
+
+    def fit_frames(self, x: np.ndarray, frame_labels: np.ndarray,
+                   epochs: int = 10, batch_size: int = 8, optimizer=None,
+                   class_balanced: bool = True,
+                   rng: "int | np.random.Generator | None" = None,
+                   verbose: bool = False) -> list[float]:
+        """Train on aligned frames; returns per-epoch frame accuracy.
+
+        ``class_balanced`` weights each frame inversely to its class
+        frequency — without it, dominant layer kinds (convolutions)
+        drown out the short elementwise layers the decoder must also
+        emit.
+        """
+        if x.shape[:2] != frame_labels.shape:
+            raise ValueError(
+                f"frame_labels shape {frame_labels.shape} does not match "
+                f"input {x.shape[:2]}")
+        if optimizer is None:
+            from repro.ml.optimizers import Adam
+            optimizer = Adam(lr=3e-3)
+        gen = ensure_rng(rng)
+        class_weights = None
+        if class_balanced:
+            counts = np.bincount(frame_labels.reshape(-1),
+                                 minlength=self.num_classes).astype(float)
+            inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+            class_weights = inv / inv[counts > 0].mean()
+        curve: list[float] = []
+        for _ in range(epochs):
+            order = gen.permutation(len(x))
+            correct = 0
+            total = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start:start + batch_size]
+                logits = self.forward(x[batch], training=True)
+                n, t, c = logits.shape
+                flat_logits = logits.reshape(n * t, c)
+                flat_labels = frame_labels[batch].reshape(n * t)
+                weights = (None if class_weights is None
+                           else class_weights[flat_labels])
+                self.loss.forward(flat_logits, flat_labels,
+                                  sample_weight=weights)
+                grad = self.loss.backward().reshape(n, t, c)
+                self.backward(grad)
+                optimizer.step(self.params, self.grads)
+                correct += int((flat_logits.argmax(axis=1)
+                                == flat_labels).sum())
+                total += n * t
+            accuracy = correct / total if total else 0.0
+            curve.append(accuracy)
+            if verbose:
+                print(f"frame accuracy: {accuracy:.4f}")
+        return curve
+
+    def fit_ctc(self, x: np.ndarray, label_sequences: "list[list[int]]",
+                epochs: int = 10, batch_size: int = 4, optimizer=None,
+                rng: "int | np.random.Generator | None" = None,
+                verbose: bool = False) -> list[float]:
+        """Alignment-free training with the CTC loss.
+
+        The paper's RNN "with the CTC decoder": no frame labels are
+        needed, only each trace's target label sequence. Returns the
+        per-epoch mean CTC loss (negative log-likelihood).
+        """
+        from repro.ml.ctc_loss import ctc_batch_loss
+        if len(x) != len(label_sequences):
+            raise ValueError(
+                f"x and label_sequences length mismatch: {len(x)} vs "
+                f"{len(label_sequences)}")
+        if optimizer is None:
+            from repro.ml.optimizers import Adam
+            optimizer = Adam(lr=2e-3)
+        gen = ensure_rng(rng)
+        curve: list[float] = []
+        for _ in range(epochs):
+            order = gen.permutation(len(x))
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start:start + batch_size]
+                logits = self.forward(x[batch], training=True)
+                loss, grad = ctc_batch_loss(
+                    logits, [label_sequences[int(i)] for i in batch])
+                self.backward(grad)
+                optimizer.step(self.params, self.grads)
+                epoch_loss += loss
+                batches += 1
+            curve.append(epoch_loss / max(1, batches))
+            if verbose:
+                print(f"ctc loss: {curve[-1]:.4f}")
+        return curve
+
+    def predict_frames(self, x: np.ndarray) -> np.ndarray:
+        """Per-frame class predictions of shape (N, T)."""
+        return self.forward(x, training=False).argmax(axis=2)

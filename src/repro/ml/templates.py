@@ -1,0 +1,114 @@
+"""Gaussian template classifiers — the classic side-channel baseline.
+
+Template attacks predate deep learning in side-channel work: model each
+secret's leakage as a Gaussian and classify by likelihood. They need
+far less data than the CNNs, train instantly, and expose exactly how
+much of the channel is linearly recoverable — which is why several
+benchmarks use them for attacker models whose *statistics* matter more
+than their capacity (the averaging attacker of paper §IX-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NearestTemplateClassifier:
+    """Nearest class-mean over standardized flattened traces.
+
+    The simplest template attack: one template (mean trace) per secret,
+    Euclidean matching. Equivalent to a Gaussian model with identity
+    covariance.
+    """
+
+    def __init__(self) -> None:
+        self._templates: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, traces: np.ndarray, labels: np.ndarray
+            ) -> "NearestTemplateClassifier":
+        """Fit per-class templates on (N, ...) traces."""
+        traces = np.asarray(traces, dtype=np.float64)
+        labels = np.asarray(labels)
+        if len(traces) != len(labels):
+            raise ValueError("traces and labels must align")
+        flat = traces.reshape(len(traces), -1)
+        self._mean = flat.mean(axis=0)
+        self._std = flat.std(axis=0) + 1e-9
+        standardized = (flat - self._mean) / self._std
+        self._classes = np.unique(labels)
+        self._templates = np.stack([
+            standardized[labels == c].mean(axis=0) for c in self._classes])
+        return self
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Predict class labels for (N, ...) traces."""
+        if self._templates is None:
+            raise RuntimeError("classifier used before fit()")
+        flat = np.asarray(traces, dtype=np.float64).reshape(len(traces), -1)
+        standardized = (flat - self._mean) / self._std
+        distances = np.linalg.norm(
+            standardized[:, None, :] - self._templates[None, :, :], axis=2)
+        return self._classes[distances.argmin(axis=1)]
+
+    def score(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float((self.predict(traces)
+                      == np.asarray(labels)).mean())
+
+
+class PooledGaussianTemplateClassifier:
+    """LDA-style templates: class means + pooled diagonal covariance.
+
+    Weighting each feature by its inverse pooled variance is the
+    diagonal-covariance maximum-likelihood rule — noticeably stronger
+    than plain nearest-mean when channels have very different noise
+    floors (HPC events do).
+    """
+
+    def __init__(self, var_floor: float = 1e-9) -> None:
+        if var_floor <= 0:
+            raise ValueError(f"var_floor must be positive, got {var_floor}")
+        self.var_floor = var_floor
+        self._templates: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+        self._inv_std: np.ndarray | None = None
+
+    def fit(self, traces: np.ndarray, labels: np.ndarray
+            ) -> "PooledGaussianTemplateClassifier":
+        """Fit class means and the pooled within-class variances."""
+        traces = np.asarray(traces, dtype=np.float64)
+        labels = np.asarray(labels)
+        if len(traces) != len(labels):
+            raise ValueError("traces and labels must align")
+        flat = traces.reshape(len(traces), -1)
+        self._classes = np.unique(labels)
+        means = []
+        pooled = np.zeros(flat.shape[1])
+        for cls in self._classes:
+            member = flat[labels == cls]
+            mean = member.mean(axis=0)
+            means.append(mean)
+            pooled += ((member - mean) ** 2).sum(axis=0)
+        dof = max(1, len(flat) - len(self._classes))
+        variance = np.maximum(pooled / dof, self.var_floor)
+        self._inv_std = 1.0 / np.sqrt(variance)
+        self._templates = np.stack(means) * self._inv_std
+        return self
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Maximum-likelihood class under the pooled diagonal Gaussian."""
+        if self._templates is None:
+            raise RuntimeError("classifier used before fit()")
+        flat = np.asarray(traces, dtype=np.float64).reshape(len(traces), -1)
+        weighted = flat * self._inv_std
+        distances = np.linalg.norm(
+            weighted[:, None, :] - self._templates[None, :, :], axis=2)
+        return self._classes[distances.argmin(axis=1)]
+
+    def score(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float((self.predict(traces)
+                      == np.asarray(labels)).mean())

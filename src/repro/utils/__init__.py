@@ -1,0 +1,7 @@
+"""Shared utilities: RNG handling, validation helpers, simulated clock."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.clock import SimClock
+from repro.utils.validation import require
+
+__all__ = ["ensure_rng", "spawn_rng", "SimClock", "require"]

@@ -1,0 +1,47 @@
+"""A simulated wall clock counted in CPU cycles.
+
+The simulator never consults the host's real time; everything that looks
+like "seconds" is derived from an accumulated cycle count and a nominal
+core frequency. This keeps every experiment deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Cycle-accumulating clock with a nominal frequency.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Nominal core frequency used to convert cycles to seconds.
+    """
+
+    def __init__(self, frequency_hz: float = 3.1e9) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+        self.frequency_hz = float(frequency_hz)
+        self._cycles = 0
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles elapsed since construction or the last reset."""
+        return self._cycles
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed simulated time in seconds."""
+        return self._cycles / self.frequency_hz
+
+    def advance(self, cycles: int) -> None:
+        """Advance the clock by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        self._cycles += int(cycles)
+
+    def reset(self) -> None:
+        """Reset the clock to zero cycles."""
+        self._cycles = 0
+
+    def __repr__(self) -> str:
+        return f"SimClock(cycles={self._cycles}, seconds={self.seconds:.6f})"

@@ -1,0 +1,32 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the simulator accepts either a seed or a
+``numpy.random.Generator``. Components that own long-lived state spawn
+independent child generators so that adding randomness in one module does
+not perturb another module's stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent child generators from ``rng``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,9 @@
+"""Small validation helpers used across the library."""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)

@@ -1,0 +1,22 @@
+"""Virtualization substrate: SEV-style confidential VMs and the host.
+
+Models exactly the trust boundary the paper attacks and defends: guest
+memory and register state are opaque to the hypervisor (SEV), but the
+per-vCPU HPC register values are host-readable — the side channel.
+"""
+
+from repro.vm.sev import AttestationReport, SevPolicy, SevVersion
+from repro.vm.guest import GuestVM, VirtualCpu
+from repro.vm.hypervisor import Hypervisor
+from repro.vm.perf_event import PerfEventAttr, PerfEventMonitor
+
+__all__ = [
+    "AttestationReport",
+    "GuestVM",
+    "Hypervisor",
+    "PerfEventAttr",
+    "PerfEventMonitor",
+    "SevPolicy",
+    "SevVersion",
+    "VirtualCpu",
+]

@@ -1,0 +1,123 @@
+"""The guest VM: vCPUs backed by simulated cores, encrypted memory.
+
+The paper's victim VM has 4 vCPUs, 8 GiB of memory and runs one
+protected application; the defense explicitly pins the Event Obfuscator
+and the protected application to the *same* vCPU so the hypervisor
+cannot schedule them apart. This module models vCPUs, process pinning,
+and the encrypted guest memory the hypervisor cannot read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.core import ActivityBlock, Core
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.vm.sev import MemoryEncryptionEngine, SevPolicy, generate_vm_key
+
+
+@dataclass
+class GuestProcess:
+    """A process inside the guest, pinned to one vCPU."""
+
+    name: str
+    vcpu_index: int
+    pid: int
+
+
+class VirtualCpu:
+    """One vCPU: a simulated core plus scheduling metadata."""
+
+    def __init__(self, index: int, core: Core) -> None:
+        self.index = index
+        self.core = core
+
+    def run_slice(self, block: ActivityBlock, noisy: bool = True) -> np.ndarray:
+        """Execute one activity slice on this vCPU's core."""
+        return self.core.execute_block(block, noisy=noisy)
+
+
+class GuestVM:
+    """An SEV-protected guest VM.
+
+    Parameters
+    ----------
+    name:
+        Guest identifier.
+    processor_model:
+        Host processor model backing the vCPUs (fixes the event catalog).
+    num_vcpus / memory_mb / disk_gb:
+        Paper configuration defaults: 4 vCPUs, 8 GiB memory, 80 GiB disk.
+    policy:
+        SEV launch policy.
+    """
+
+    def __init__(self, name: str, processor_model: str = "amd-epyc-7252",
+                 num_vcpus: int = 4, memory_mb: int = 8192, disk_gb: int = 80,
+                 policy: SevPolicy | None = None,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if num_vcpus < 1:
+            raise ValueError(f"num_vcpus must be >= 1, got {num_vcpus}")
+        root = ensure_rng(rng)
+        children = spawn_rng(root, num_vcpus + 1)
+        self.name = name
+        self.processor_model = processor_model
+        self.memory_mb = memory_mb
+        self.disk_gb = disk_gb
+        self.policy = policy or SevPolicy()
+        self.vcpus = [
+            VirtualCpu(i, Core(processor_model, rng=children[i]))
+            for i in range(num_vcpus)
+        ]
+        self._encryption = MemoryEncryptionEngine(generate_vm_key(children[-1]))
+        self._memory: dict[int, bytes] = {}
+        self._processes: dict[int, GuestProcess] = {}
+        self._next_pid = 1000
+
+    # -- processes ---------------------------------------------------
+
+    def spawn_process(self, name: str, vcpu_index: int = 0) -> GuestProcess:
+        """Create a guest process pinned to ``vcpu_index``."""
+        if not 0 <= vcpu_index < len(self.vcpus):
+            raise IndexError(
+                f"vcpu_index {vcpu_index} out of range [0, {len(self.vcpus)})")
+        process = GuestProcess(name=name, vcpu_index=vcpu_index,
+                               pid=self._next_pid)
+        self._next_pid += 1
+        self._processes[process.pid] = process
+        return process
+
+    def process(self, pid: int) -> GuestProcess:
+        """Look up a guest process by pid."""
+        try:
+            return self._processes[pid]
+        except KeyError as exc:
+            raise KeyError(f"no such guest process pid={pid}") from exc
+
+    def processes_on_vcpu(self, vcpu_index: int) -> list[GuestProcess]:
+        """Processes pinned to one vCPU (indistinguishable to the host)."""
+        return [p for p in self._processes.values()
+                if p.vcpu_index == vcpu_index]
+
+    # -- encrypted memory ---------------------------------------------
+
+    def write_memory(self, address: int, plaintext: bytes) -> None:
+        """Guest-side write; stored encrypted."""
+        self._memory[address] = self._encryption.encrypt(address, plaintext)
+
+    def read_memory(self, address: int) -> bytes:
+        """Guest-side read; transparently decrypted."""
+        try:
+            ciphertext = self._memory[address]
+        except KeyError as exc:
+            raise KeyError(f"guest address {address:#x} not written") from exc
+        return self._encryption.decrypt(address, ciphertext)
+
+    def read_memory_ciphertext(self, address: int) -> bytes:
+        """What the hypervisor sees when it maps the page: ciphertext."""
+        try:
+            return self._memory[address]
+        except KeyError as exc:
+            raise KeyError(f"guest address {address:#x} not written") from exc

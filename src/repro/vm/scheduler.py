@@ -1,0 +1,123 @@
+"""vCPU scheduling and world switches.
+
+A guest vCPU is a host thread: the hypervisor preempts it for other
+tenants and for VM exits, and every world switch perturbs the
+microarchitectural state the HPCs observe (TLB shootdowns, predictor
+pollution, lost time slices). This module models the scheduling layer:
+time-slice accounting per vCPU, world-switch counting, the steal-time
+the guest sees, and the paper's pinning countermeasure (the Event
+Obfuscator is pinned with the protected app, so the hypervisor cannot
+separate them onto different cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.signals import Signal, zero_signals
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class VcpuScheduleState:
+    """Scheduling accounting for one vCPU."""
+
+    vcpu_index: int
+    physical_core: int
+    pinned: bool = False
+    run_time_s: float = 0.0
+    steal_time_s: float = 0.0
+    world_switches: int = 0
+
+    @property
+    def steal_fraction(self) -> float:
+        total = self.run_time_s + self.steal_time_s
+        return self.steal_time_s / total if total > 0 else 0.0
+
+
+class VcpuScheduler:
+    """Host-side scheduler for a guest's vCPUs.
+
+    Parameters
+    ----------
+    num_vcpus / num_physical_cores:
+        Topology; an oversubscribed host (fewer cores than runnable
+        threads) produces steal time.
+    contention:
+        Probability per slice that a vCPU loses part of its slice to a
+        co-tenant.
+    exit_rate_hz:
+        Baseline VM-exit (world switch) rate while running.
+    """
+
+    def __init__(self, num_vcpus: int = 4, num_physical_cores: int = 8,
+                 contention: float = 0.05, exit_rate_hz: float = 200.0,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if num_vcpus < 1 or num_physical_cores < 1:
+            raise ValueError("topology values must be >= 1")
+        if not 0.0 <= contention <= 1.0:
+            raise ValueError(f"contention must be in [0, 1], got {contention}")
+        if exit_rate_hz < 0:
+            raise ValueError("exit_rate_hz must be non-negative")
+        self.contention = contention
+        self.exit_rate_hz = exit_rate_hz
+        self._rng = ensure_rng(rng)
+        self.states = [
+            VcpuScheduleState(vcpu_index=i,
+                              physical_core=i % num_physical_cores)
+            for i in range(num_vcpus)
+        ]
+
+    def state(self, vcpu_index: int) -> VcpuScheduleState:
+        try:
+            return self.states[vcpu_index]
+        except IndexError as exc:
+            raise IndexError(f"no vCPU {vcpu_index}") from exc
+
+    def pin(self, vcpu_index: int, physical_core: int) -> None:
+        """Pin a vCPU to one physical core (the defense's placement)."""
+        state = self.state(vcpu_index)
+        state.pinned = True
+        state.physical_core = physical_core
+
+    def migrate(self, vcpu_index: int, physical_core: int) -> bool:
+        """Hypervisor-initiated migration; refused for pinned vCPUs.
+
+        The paper pins the obfuscator and the protected application to
+        the same vCPU precisely so the host cannot schedule them apart
+        — with SEV, processes sharing a vCPU are indistinguishable.
+        """
+        state = self.state(vcpu_index)
+        if state.pinned:
+            return False
+        state.physical_core = physical_core
+        state.world_switches += 1
+        return True
+
+    def run_slice(self, vcpu_index: int, duration_s: float) -> np.ndarray:
+        """Account one scheduling slice; returns perturbation signals.
+
+        World switches flush TLB state and interrupt the guest;
+        contention steals part of the slice. The returned signal vector
+        is the *host-induced* perturbation a monitor sees mixed into
+        the vCPU's counters.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        state = self.state(vcpu_index)
+        signals = zero_signals()
+        exits = int(self._rng.poisson(self.exit_rate_hz * duration_s))
+        state.world_switches += exits
+        signals[Signal.CONTEXT_SWITCHES] += exits
+        signals[Signal.TLB_FLUSHES] += exits
+        signals[Signal.ITLB_MISS] += 12.0 * exits
+        signals[Signal.DTLB_MISS] += 25.0 * exits
+        signals[Signal.INTERRUPTS] += exits
+        stolen = 0.0
+        if self.contention > 0 and self._rng.random() < self.contention:
+            stolen = duration_s * float(self._rng.uniform(0.05, 0.4))
+        state.run_time_s += duration_s - stolen
+        state.steal_time_s += stolen
+        return signals

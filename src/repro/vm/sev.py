@@ -1,0 +1,112 @@
+"""Secure Encrypted Virtualization model.
+
+SEV encrypts guest memory with a per-VM key held by the Platform
+Security Processor; SEV-ES adds register-state encryption on world
+switches; SEV-SNP adds memory integrity. For the side-channel
+experiments, what matters is the *boundary*: the hypervisor can never
+read plaintext guest memory or registers, but shared hardware resources
+(the HPC registers) still leak. This module models keys, policies and
+the remote-attestation report the guest owner uses to learn the host's
+processor model (which the Application Profiler needs to pick a template
+server).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SevVersion(enum.Enum):
+    """SEV feature generations."""
+
+    SEV = "SEV"
+    SEV_ES = "SEV-ES"
+    SEV_SNP = "SEV-SNP"
+
+
+@dataclass(frozen=True)
+class SevPolicy:
+    """Guest launch policy bits."""
+
+    version: SevVersion = SevVersion.SEV_SNP
+    debug_allowed: bool = False
+    migration_allowed: bool = False
+
+    @property
+    def registers_encrypted(self) -> bool:
+        """SEV-ES and later encrypt register state on world switches."""
+        return self.version in (SevVersion.SEV_ES, SevVersion.SEV_SNP)
+
+    @property
+    def memory_integrity(self) -> bool:
+        """Only SEV-SNP provides memory integrity (RMP)."""
+        return self.version is SevVersion.SEV_SNP
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """Report returned by the PSP during remote attestation.
+
+    The guest owner verifies ``measurement`` and reads
+    ``processor_model`` — the paper's profiler uses the latter to rent a
+    template server in the same processor family.
+    """
+
+    guest_name: str
+    processor_model: str
+    policy: SevPolicy
+    measurement: str
+
+    def verify(self, expected_measurement: str) -> bool:
+        """Check the launch measurement against the expected digest."""
+        return self.measurement == expected_measurement
+
+
+class MemoryEncryptionEngine:
+    """Per-VM AES-like memory transform (a keyed digest stands in).
+
+    Plaintext never leaves the engine: reads through the hypervisor
+    yield ciphertext bytes that change with the ephemeral VM key.
+    """
+
+    def __init__(self, vm_key: bytes) -> None:
+        if len(vm_key) < 16:
+            raise ValueError("vm_key must be at least 128 bits")
+        self._key = vm_key
+
+    def encrypt(self, address: int, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` at ``address`` (address-tweaked)."""
+        stream = self._keystream(address, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    def decrypt(self, address: int, ciphertext: bytes) -> bytes:
+        """Decrypt; the transform is an involution."""
+        return self.encrypt(address, ciphertext)
+
+    def _keystream(self, address: int, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hashlib.sha256(
+                self._key + address.to_bytes(8, "little")
+                + counter.to_bytes(4, "little")).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+
+def generate_vm_key(rng: np.random.Generator) -> bytes:
+    """PSP-style ephemeral per-VM key."""
+    return bytes(int(b) for b in rng.integers(0, 256, size=32))
+
+
+def launch_measurement(guest_name: str, processor_model: str,
+                       policy: SevPolicy) -> str:
+    """Deterministic launch digest over the guest's initial state."""
+    payload = f"{guest_name}|{processor_model}|{policy.version.value}|" \
+              f"{policy.debug_allowed}|{policy.migration_allowed}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

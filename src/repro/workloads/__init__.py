@@ -1,0 +1,37 @@
+"""Synthetic guest workloads.
+
+Stand-ins for the paper's real victim applications (Chrome website
+loads, xdotool keystrokes, PyTorch model inference). Each workload maps
+a *secret* (which website, how many keystrokes, which DNN architecture)
+to a phase-structured activity program whose per-slice signal emissions
+give every secret a distinct — but noisy — HPC signature, exactly the
+statistical structure the attacks learn from.
+"""
+
+from repro.workloads.base import (
+    InstructionMix,
+    Phase,
+    PhaseProgram,
+    Workload,
+    idle_mix,
+)
+from repro.workloads.website import ALEXA_SITES, WebsiteWorkload
+from repro.workloads.keystroke import KeystrokeWorkload
+from repro.workloads.dnn import DNN_MODELS, DnnWorkload, LayerKind
+from repro.workloads.crypto import RsaSignWorkload, random_key
+
+__all__ = [
+    "ALEXA_SITES",
+    "DNN_MODELS",
+    "DnnWorkload",
+    "InstructionMix",
+    "KeystrokeWorkload",
+    "LayerKind",
+    "Phase",
+    "PhaseProgram",
+    "RsaSignWorkload",
+    "WebsiteWorkload",
+    "Workload",
+    "idle_mix",
+    "random_key",
+]

@@ -1,0 +1,305 @@
+"""DNN inference workload (the MEA victim).
+
+The paper runs 30 common torchvision models inside the victim VM; the
+model-extraction attacker recovers each model's *layer sequence* from
+the HPC trace. Here each model is a layer program: every layer kind has
+a characteristic instruction mix (convolutions are SIMD-heavy, fully
+connected layers are memory-bound, activations are cheap elementwise
+passes) and a duration proportional to its compute cost, so the layer
+sequence is written into the time series the monitor samples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import InstructionMix, Phase, PhaseProgram, Workload
+
+
+class LayerKind(enum.Enum):
+    """DNN layer kinds distinguishable in the trace."""
+
+    CONV = "conv"
+    DWCONV = "dwconv"
+    BN = "bn"
+    RELU = "relu"
+    POOL = "pool"
+    FC = "fc"
+    ADD = "add"
+    CONCAT = "concat"
+    GAP = "gap"
+    ATTENTION = "attention"
+    EMBED = "embed"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer: kind plus a relative compute cost (GFLOP-ish units)."""
+
+    kind: LayerKind
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"layer cost must be positive, got {self.cost}")
+
+
+#: Per-kind instruction mixes. Rates are per-second at nominal intensity;
+#: the layer's cost sets how long the mix stays active.
+_LAYER_MIXES: dict[LayerKind, InstructionMix] = {
+    LayerKind.CONV: InstructionMix(
+        ips=2.8e9, load_ratio=0.32, store_ratio=0.12, simd_ratio=0.42,
+        fp_ratio=0.1, l1d_miss_ratio=0.02, llc_miss_ratio=0.25,
+        mul_ratio=0.05, prefetch_ratio=0.01, branch_ratio=0.06),
+    LayerKind.DWCONV: InstructionMix(
+        ips=1.6e9, load_ratio=0.42, store_ratio=0.18, simd_ratio=0.2,
+        l1d_miss_ratio=0.06, llc_miss_ratio=0.4, branch_ratio=0.08),
+    LayerKind.BN: InstructionMix(
+        ips=1.2e9, load_ratio=0.4, store_ratio=0.2, fp_ratio=0.25,
+        simd_ratio=0.1, l1d_miss_ratio=0.05, div_ratio=0.02),
+    LayerKind.RELU: InstructionMix(
+        ips=1.0e9, load_ratio=0.42, store_ratio=0.22, simd_ratio=0.12,
+        branch_ratio=0.1, l1d_miss_ratio=0.05),
+    LayerKind.POOL: InstructionMix(
+        ips=1.1e9, load_ratio=0.48, store_ratio=0.12, simd_ratio=0.1,
+        branch_ratio=0.12, l1d_miss_ratio=0.06, llc_miss_ratio=0.35),
+    LayerKind.FC: InstructionMix(
+        ips=1.8e9, load_ratio=0.5, store_ratio=0.06, simd_ratio=0.3,
+        fp_ratio=0.06, l1d_miss_ratio=0.09, llc_miss_ratio=0.6,
+        dtlb_miss_ratio=0.01, prefetch_ratio=0.02),
+    LayerKind.ADD: InstructionMix(
+        ips=1.0e9, load_ratio=0.5, store_ratio=0.24, simd_ratio=0.14,
+        l1d_miss_ratio=0.06),
+    LayerKind.CONCAT: InstructionMix(
+        ips=0.9e9, load_ratio=0.46, store_ratio=0.4, l1d_miss_ratio=0.08,
+        llc_miss_ratio=0.5),
+    LayerKind.GAP: InstructionMix(
+        ips=0.8e9, load_ratio=0.52, store_ratio=0.05, fp_ratio=0.2,
+        l1d_miss_ratio=0.07),
+    LayerKind.ATTENTION: InstructionMix(
+        ips=2.4e9, load_ratio=0.36, store_ratio=0.12, simd_ratio=0.34,
+        fp_ratio=0.12, div_ratio=0.01, l1d_miss_ratio=0.03,
+        llc_miss_ratio=0.3, mul_ratio=0.04),
+    LayerKind.EMBED: InstructionMix(
+        ips=0.9e9, load_ratio=0.5, store_ratio=0.3, l1d_miss_ratio=0.1,
+        llc_miss_ratio=0.55, dtlb_miss_ratio=0.02),
+}
+
+#: Seconds of execution per unit of layer cost. Calibrated so the
+#: heaviest zoo member (resnet152) finishes inside the 3 s sampling
+#: window while small layers (BN/ReLU) still span a monitor slice or
+#: two — the regime where sequence decoding succeeds but is imperfect,
+#: as in the paper (90.5% matched layers).
+_SECONDS_PER_COST = 0.01
+
+
+def _conv_block(cost: float, bn: bool = True) -> list[Layer]:
+    # On CPU inference the elementwise layers are memory-bound and take
+    # a sizable fraction of a convolution's time (they are not free as
+    # on accelerators) — which is also what makes them visible to the
+    # sequence-decoding attacker.
+    layers = [Layer(LayerKind.CONV, cost)]
+    if bn:
+        layers.append(Layer(LayerKind.BN, cost * 0.30))
+    layers.append(Layer(LayerKind.RELU, cost * 0.20))
+    return layers
+
+
+def _vgg(cfg: list[int]) -> list[Layer]:
+    layers: list[Layer] = []
+    cost = 2.0
+    for stage in cfg:
+        for _ in range(stage):
+            layers.extend(_conv_block(cost, bn=False))
+        layers.append(Layer(LayerKind.POOL, cost * 0.1))
+        cost *= 0.85
+    layers.extend([Layer(LayerKind.FC, 4.0), Layer(LayerKind.RELU, 0.2),
+                   Layer(LayerKind.FC, 1.6), Layer(LayerKind.RELU, 0.1),
+                   Layer(LayerKind.FC, 0.4)])
+    return layers
+
+
+def _resnet(blocks: list[int], bottleneck: bool) -> list[Layer]:
+    layers: list[Layer] = [Layer(LayerKind.CONV, 2.4), Layer(LayerKind.BN, 0.2),
+                           Layer(LayerKind.RELU, 0.1),
+                           Layer(LayerKind.POOL, 0.2)]
+    cost = 1.8
+    for stage, count in enumerate(blocks):
+        for _ in range(count):
+            if bottleneck:
+                layers.extend(_conv_block(cost * 0.4))
+                layers.extend(_conv_block(cost))
+                layers.extend(_conv_block(cost * 0.4))
+            else:
+                layers.extend(_conv_block(cost))
+                layers.extend(_conv_block(cost))
+            layers.append(Layer(LayerKind.ADD, cost * 0.15))
+            layers.append(Layer(LayerKind.RELU, cost * 0.10))
+        cost *= 0.8
+    layers.extend([Layer(LayerKind.GAP, 0.1), Layer(LayerKind.FC, 0.3)])
+    return layers
+
+
+def _densenet(blocks: list[int]) -> list[Layer]:
+    layers: list[Layer] = [Layer(LayerKind.CONV, 2.0), Layer(LayerKind.BN, 0.2),
+                           Layer(LayerKind.RELU, 0.1),
+                           Layer(LayerKind.POOL, 0.2)]
+    cost = 0.9
+    for count in blocks:
+        for _ in range(count):
+            layers.extend(_conv_block(cost * 0.3))
+            layers.extend(_conv_block(cost))
+            layers.append(Layer(LayerKind.CONCAT, cost * 0.15))
+        layers.append(Layer(LayerKind.POOL, cost * 0.15))
+        cost *= 0.85
+    layers.extend([Layer(LayerKind.GAP, 0.1), Layer(LayerKind.FC, 0.3)])
+    return layers
+
+
+def _mobilenet(blocks: int, expansion_heavy: bool) -> list[Layer]:
+    layers: list[Layer] = _conv_block(1.2)
+    cost = 0.7
+    for _ in range(blocks):
+        layers.extend(_conv_block(cost * (1.4 if expansion_heavy else 0.9)))
+        layers.append(Layer(LayerKind.DWCONV, cost))
+        layers.append(Layer(LayerKind.BN, cost * 0.30))
+        layers.append(Layer(LayerKind.RELU, cost * 0.20))
+        layers.extend(_conv_block(cost * 0.8))
+        layers.append(Layer(LayerKind.ADD, cost * 0.15))
+        cost *= 0.92
+    layers.extend([Layer(LayerKind.GAP, 0.08), Layer(LayerKind.FC, 0.25)])
+    return layers
+
+
+def _inception(stages: int) -> list[Layer]:
+    layers: list[Layer] = _conv_block(2.2) + [Layer(LayerKind.POOL, 0.2)]
+    cost = 1.0
+    for _ in range(stages):
+        for branch_cost in (cost * 0.5, cost, cost * 0.7, cost * 0.3):
+            layers.extend(_conv_block(branch_cost))
+        layers.append(Layer(LayerKind.CONCAT, cost * 0.15))
+        cost *= 0.9
+    layers.extend([Layer(LayerKind.GAP, 0.1), Layer(LayerKind.FC, 0.3)])
+    return layers
+
+
+def _squeezenet(fire_modules: int) -> list[Layer]:
+    layers: list[Layer] = _conv_block(1.6, bn=False) + [Layer(LayerKind.POOL, 0.15)]
+    cost = 0.8
+    for _ in range(fire_modules):
+        layers.extend(_conv_block(cost * 0.3, bn=False))  # squeeze
+        layers.extend(_conv_block(cost * 0.6, bn=False))  # expand 1x1
+        layers.extend(_conv_block(cost, bn=False))        # expand 3x3
+        layers.append(Layer(LayerKind.CONCAT, cost * 0.15))
+        cost *= 0.9
+    layers.extend([Layer(LayerKind.CONV, 0.5), Layer(LayerKind.GAP, 0.1)])
+    return layers
+
+
+def _vit(depth: int) -> list[Layer]:
+    layers: list[Layer] = [Layer(LayerKind.EMBED, 0.8)]
+    for _ in range(depth):
+        layers.append(Layer(LayerKind.ATTENTION, 1.6))
+        layers.append(Layer(LayerKind.ADD, 0.18))
+        layers.append(Layer(LayerKind.FC, 1.2))
+        layers.append(Layer(LayerKind.RELU, 0.15))
+        layers.append(Layer(LayerKind.ADD, 0.18))
+    layers.append(Layer(LayerKind.FC, 0.3))
+    return layers
+
+
+def _alexnet() -> list[Layer]:
+    layers: list[Layer] = []
+    for cost in (2.2, 1.8, 1.2, 1.2, 0.9):
+        layers.extend(_conv_block(cost, bn=False))
+        if cost in (2.2, 1.8, 0.9):
+            layers.append(Layer(LayerKind.POOL, 0.15))
+    layers.extend([Layer(LayerKind.FC, 2.8), Layer(LayerKind.RELU, 0.15),
+                   Layer(LayerKind.FC, 1.2), Layer(LayerKind.RELU, 0.1),
+                   Layer(LayerKind.FC, 0.3)])
+    return layers
+
+
+#: The 30 models, torchvision-style names -> layer programs.
+DNN_MODELS: dict[str, list[Layer]] = {
+    "alexnet": _alexnet(),
+    "vgg11": _vgg([1, 1, 2, 2, 2]),
+    "vgg13": _vgg([2, 2, 2, 2, 2]),
+    "vgg16": _vgg([2, 2, 3, 3, 3]),
+    "vgg19": _vgg([2, 2, 4, 4, 4]),
+    "resnet18": _resnet([2, 2, 2, 2], bottleneck=False),
+    "resnet34": _resnet([3, 4, 6, 3], bottleneck=False),
+    "resnet50": _resnet([3, 4, 6, 3], bottleneck=True),
+    "resnet101": _resnet([3, 4, 23, 3], bottleneck=True),
+    "resnet152": _resnet([3, 8, 36, 3], bottleneck=True),
+    "wide_resnet50_2": _resnet([3, 4, 6, 3], bottleneck=True),
+    "resnext50_32x4d": _resnet([3, 4, 6, 3], bottleneck=True),
+    "squeezenet1_0": _squeezenet(8),
+    "squeezenet1_1": _squeezenet(8),
+    "densenet121": _densenet([6, 12, 24, 16]),
+    "densenet169": _densenet([6, 12, 32, 32]),
+    "densenet201": _densenet([6, 12, 48, 32]),
+    "googlenet": _inception(9),
+    "inception_v3": _inception(11),
+    "mobilenet_v2": _mobilenet(17, expansion_heavy=True),
+    "mobilenet_v3_small": _mobilenet(11, expansion_heavy=False),
+    "mobilenet_v3_large": _mobilenet(15, expansion_heavy=True),
+    "shufflenet_v2_x1_0": _mobilenet(16, expansion_heavy=False),
+    "mnasnet1_0": _mobilenet(14, expansion_heavy=True),
+    "efficientnet_b0": _mobilenet(16, expansion_heavy=True),
+    "efficientnet_b1": _mobilenet(23, expansion_heavy=True),
+    "regnet_x_400mf": _resnet([1, 2, 7, 12], bottleneck=True),
+    "regnet_y_400mf": _resnet([1, 3, 6, 6], bottleneck=True),
+    "convnext_tiny": _vit(9),
+    "vit_b_16": _vit(12),
+}
+
+
+class DnnWorkload(Workload):
+    """Runs one inference of a 30-model zoo inside the guest.
+
+    The secret is the model name; :meth:`layer_sequence` exposes the
+    ground-truth layer-kind sequence the MEA attacker tries to recover.
+    """
+
+    def __init__(self, models: dict[str, list[Layer]] | None = None,
+                 seconds_per_cost: float = _SECONDS_PER_COST) -> None:
+        self._models = dict(models) if models is not None else dict(DNN_MODELS)
+        if not self._models:
+            raise ValueError("models must be non-empty")
+        if seconds_per_cost <= 0:
+            raise ValueError(
+                f"seconds_per_cost must be positive, got {seconds_per_cost}")
+        self.seconds_per_cost = seconds_per_cost
+
+    @property
+    def secrets(self) -> list:
+        return list(self._models)
+
+    def layer_sequence(self, model_name: str) -> list[LayerKind]:
+        """Ground-truth layer kinds of a model (the MEA label)."""
+        try:
+            return [layer.kind for layer in self._models[model_name]]
+        except KeyError as exc:
+            raise KeyError(f"unknown model {model_name!r}") from exc
+
+    def inference_seconds(self, model_name: str) -> float:
+        """Nominal single-inference latency of a model."""
+        layers = self._models[model_name]
+        return sum(l.cost for l in layers) * self.seconds_per_cost
+
+    def program_for(self, secret: str, rng: np.random.Generator) -> PhaseProgram:
+        try:
+            layers = self._models[secret]
+        except KeyError as exc:
+            raise ValueError(f"unknown model {secret!r}") from exc
+        phases = [
+            Phase(layer.kind.value, _LAYER_MIXES[layer.kind],
+                  layer.cost * self.seconds_per_cost,
+                  duration_jitter=0.06, intensity_jitter=0.06)
+            for layer in layers
+        ]
+        return PhaseProgram(phases=phases)

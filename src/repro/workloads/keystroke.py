@@ -1,0 +1,74 @@
+"""Keystroke workload (the KSA victim).
+
+Following the paper's setup, the victim emits K keystrokes (K drawn
+from [0, 9]) within the 3-second sampling window, generated xdotool
+style. Each keystroke is a short interrupt-handling/input-processing
+burst over an idle baseline — the timing pattern of these bursts is
+what the sniffing attack counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import InstructionMix, Phase, PhaseProgram, Workload, idle_mix
+
+#: Activity burst while the guest handles one key press + release.
+_KEYSTROKE_BURST = InstructionMix(
+    ips=1.4e9, load_ratio=0.3, store_ratio=0.14, branch_ratio=0.24,
+    branch_miss_ratio=0.04, l1d_miss_ratio=0.025, call_ratio=0.02,
+    stack_ratio=0.07)
+
+#: Editor/terminal redraw following a keystroke.
+_REDRAW = InstructionMix(
+    ips=7e8, load_ratio=0.36, store_ratio=0.22, l1d_miss_ratio=0.05,
+    llc_miss_ratio=0.4, simd_ratio=0.08)
+
+
+class KeystrokeWorkload(Workload):
+    """Emits ``secret`` keystrokes at random instants in the window.
+
+    Parameters
+    ----------
+    max_keys:
+        Secrets are 0..max_keys inclusive (paper: 9).
+    burst_s:
+        Nominal duration of one keystroke-handling burst.
+    """
+
+    def __init__(self, max_keys: int = 9, burst_s: float = 0.012) -> None:
+        if max_keys < 0:
+            raise ValueError(f"max_keys must be >= 0, got {max_keys}")
+        if burst_s <= 0:
+            raise ValueError(f"burst_s must be positive, got {burst_s}")
+        self.max_keys = max_keys
+        self.burst_s = burst_s
+
+    @property
+    def secrets(self) -> list:
+        return list(range(self.max_keys + 1))
+
+    def program_for(self, secret: int, rng: np.random.Generator) -> PhaseProgram:
+        if not 0 <= secret <= self.max_keys:
+            raise ValueError(
+                f"secret must be in [0, {self.max_keys}], got {secret}")
+        window = self.default_duration_s
+        # Keystroke instants: sorted uniform draws, with a human-ish
+        # minimum spacing enforced by rejection-free clipping.
+        instants = np.sort(rng.uniform(0.0, window - 2 * self.burst_s,
+                                       size=secret))
+        phases: list[Phase] = []
+        t = 0.0
+        for instant in instants:
+            gap = max(0.0, float(instant) - t)
+            if gap > 0:
+                phases.append(Phase("idle", idle_mix(), gap,
+                                    duration_jitter=0.0, intensity_jitter=0.05))
+            # Keystroke handling is a short, highly deterministic code
+            # path, so its burst size varies little run to run.
+            phases.append(Phase("keystroke", _KEYSTROKE_BURST, self.burst_s,
+                                duration_jitter=0.04, intensity_jitter=0.04))
+            phases.append(Phase("redraw", _REDRAW, self.burst_s * 0.8,
+                                duration_jitter=0.06, intensity_jitter=0.05))
+            t = float(instant) + 1.8 * self.burst_s
+        return PhaseProgram(phases=phases)

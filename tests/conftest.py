@@ -1,0 +1,33 @@
+"""Shared fixtures: cached catalogs and small deterministic objects."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.events import processor_catalog
+from repro.isa.catalog import build_catalog
+
+
+@pytest.fixture(scope="session")
+def amd_catalog():
+    return processor_catalog("amd-epyc-7252")
+
+
+@pytest.fixture(scope="session")
+def intel_catalog():
+    return processor_catalog("intel-xeon-e5-1650")
+
+
+@pytest.fixture(scope="session")
+def isa_catalog():
+    return build_catalog()
+
+
+@pytest.fixture()
+def core():
+    return Core("amd-epyc-7252", rng=np.random.default_rng(42))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,67 @@
+"""End-to-end Aegis pipeline test: profile -> fuzz -> obfuscate -> defend.
+
+Runs the complete offline + online flow at reduced scale and checks the
+headline property: the deployed obfuscator collapses the attack to near
+random guessing while the undefended attack succeeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import TraceCollector, WebsiteFingerprintingAttack
+from repro.core import Aegis
+from repro.workloads import WebsiteWorkload
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    workload = WebsiteWorkload()
+    secrets = workload.secrets[:6]
+    aegis = Aegis(workload, mechanism="laplace", epsilon=0.25,
+                  runs_per_secret=6, gadget_budget=600, rng=99)
+    return aegis, aegis.deploy(secrets=secrets), secrets, workload
+
+
+class TestAegisPipeline:
+    def test_profiler_found_vulnerable_events(self, deployment):
+        _, result, _, _ = deployment
+        assert result.profiler_report.warmup.surviving_count > 50
+        assert len(result.profiler_report.ranking.event_names) > 50
+
+    def test_fuzzer_covering_set_nontrivial(self, deployment):
+        _, result, _, _ = deployment
+        assert result.covering_gadgets >= 1
+        assert result.covered_events >= result.covering_gadgets
+
+    def test_obfuscator_has_calibrated_sensitivity(self, deployment):
+        _, result, _, _ = deployment
+        assert result.obfuscator.mechanism.sensitivity > 0
+        assert result.obfuscator.epsilon == 0.25
+
+    def test_defense_collapses_attack(self, deployment):
+        _, result, secrets, workload = deployment
+        undefended = TraceCollector(workload, duration_s=3.0, slice_s=0.02,
+                                    rng=1)
+        clean = undefended.collect(16, secrets=secrets)
+        defended_collector = TraceCollector(
+            workload, duration_s=3.0, slice_s=0.02,
+            obfuscator=result.obfuscator, rng=1)
+        noisy = defended_collector.collect(16, secrets=secrets)
+
+        attack = WebsiteFingerprintingAttack(
+            num_sites=len(secrets), downsample=2, epochs=25,
+            batch_size=16, rng=2)
+        clean_accuracy = attack.run(clean).test_accuracy
+
+        attack2 = WebsiteFingerprintingAttack(
+            num_sites=len(secrets), downsample=2, epochs=25,
+            batch_size=16, rng=2)
+        noisy_accuracy = attack2.run(noisy).test_accuracy
+
+        assert clean_accuracy > 0.7
+        assert noisy_accuracy < clean_accuracy / 2
+        assert noisy_accuracy < 0.45  # approaching random (1/6)
+
+    def test_injection_reports_accumulated(self, deployment):
+        _, result, _, _ = deployment
+        assert len(result.obfuscator.reports) > 0

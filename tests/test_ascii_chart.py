@@ -1,0 +1,37 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert len(out) == 4
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_fixed_bounds(self):
+        out = sparkline([0.5], lo=0.0, hi=1.0)
+        assert out in "▃▄▅"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_unit_suffix(self):
+        out = bar_chart([("x", 3.0)], width=4, unit="%")
+        assert out.endswith("3%")
+
+    def test_empty(self):
+        assert bar_chart([]) == ""

@@ -1,0 +1,83 @@
+"""Tests for the repro-aegis command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.workload == "website"
+        assert args.func.__name__ == "cmd_profile"
+
+    def test_deploy_options(self):
+        args = build_parser().parse_args(
+            ["deploy", "--mechanism", "dstar", "--epsilon", "2.0",
+             "-o", "x.json"])
+        assert args.mechanism == "dstar"
+        assert args.epsilon == 2.0
+        assert args.output == "x.json"
+
+    def test_attack_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--attack", "rowhammer"])
+
+
+class TestCommands:
+    def test_profile_runs(self, capsys):
+        code = main(["profile", "--workload", "keystroke", "--secrets",
+                     "4", "--runs", "3", "--top", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm-up" in out
+        assert "I(Y;X)" in out
+
+    def test_fuzz_runs(self, capsys):
+        code = main(["fuzz", "--budget", "120", "--events", "8",
+                     "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "covering set" in out
+        assert "cleanup" in out
+
+    def test_deploy_then_defended_attack(self, tmp_path, capsys):
+        artifact = tmp_path / "aegis.json"
+        code = main(["deploy", "--workload", "website", "--secrets", "4",
+                     "--runs", "3", "--budget", "300",
+                     "--epsilon", "0.25", "-o", str(artifact),
+                     "--seed", "3"])
+        assert code == 0
+        assert artifact.exists()
+        out = capsys.readouterr().out
+        assert "privacy guarantee" in out
+
+        code = main(["attack", "--attack", "wfa", "--secrets", "4",
+                     "--runs", "6", "--epochs", "4",
+                     "--slice", "0.02", "--artifact", str(artifact),
+                     "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "defended accuracy" in out
+
+    def test_report_from_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "aegis.json"
+        main(["deploy", "--workload", "website", "--secrets", "4",
+              "--runs", "3", "--budget", "300", "-o", str(artifact),
+              "--seed", "5"])
+        capsys.readouterr()
+        out_file = tmp_path / "report.md"
+        code = main(["report", "--artifact", str(artifact),
+                     "-o", str(out_file)])
+        assert code == 0
+        text = out_file.read_text(encoding="utf-8")
+        assert "# Aegis deployment report" in text
+        assert "Privacy budget" in text
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--workload", "database"])

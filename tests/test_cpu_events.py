@@ -1,0 +1,95 @@
+"""Tests for the HPC event catalogs (paper Tables I and II)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.events import (
+    EventCatalog,
+    EventType,
+    INTEL_E5_4617_MODEL,
+    PROCESSOR_MODELS,
+    processor_catalog,
+)
+from repro.cpu.signals import Signal, zero_signals
+
+
+class TestCatalogShape:
+    def test_table1_event_counts(self, amd_catalog, intel_catalog):
+        assert len(intel_catalog) == 6166
+        assert len(amd_catalog) == 1903
+
+    def test_sibling_same_family_nearly_identical(self, intel_catalog):
+        sibling = EventCatalog(INTEL_E5_4617_MODEL)
+        assert len(sibling) == 6172
+        shared = intel_catalog.names_shared_with(sibling)
+        assert len(sibling) - shared == 14  # Table I: 14 different events
+
+    def test_amd_siblings_identical(self, amd_catalog):
+        other = processor_catalog("amd-epyc-7313p")
+        assert amd_catalog.names_shared_with(other) == len(amd_catalog)
+
+    def test_type_histogram_matches_table2(self, amd_catalog):
+        hist = amd_catalog.type_histogram()
+        total = len(amd_catalog)
+        assert hist[EventType.TRACEPOINT] / total == pytest.approx(
+            0.8717, abs=0.01)
+        assert hist[EventType.RAW] / total == pytest.approx(0.052, abs=0.01)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            processor_catalog("pentium-133")
+
+    def test_catalog_cached(self):
+        assert processor_catalog("amd-epyc-7252") is processor_catalog(
+            "amd-epyc-7252")
+
+    def test_paper_events_present(self, amd_catalog):
+        for name in ("RETIRED_UOPS", "LS_DISPATCH", "MAB_ALLOCATION_BY_PIPE",
+                     "DATA_CACHE_REFILLS_FROM_SYSTEM",
+                     "RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR"):
+            assert amd_catalog.get(name).name == name
+
+    def test_intel_guest_sensitive_count_matches_paper(self, intel_catalog):
+        # Paper: 738 events remain after warm-up on the Intel platform.
+        assert int(intel_catalog.guest_sensitive.sum()) == 738
+
+
+class TestCounts:
+    def test_linear_response(self, amd_catalog):
+        signals = zero_signals()
+        signals[Signal.UOPS] = 1000.0
+        idx = np.array([amd_catalog.index_of("RETIRED_UOPS")])
+        counts = amd_catalog.counts_for(signals, rng=None, event_indices=idx)
+        assert counts[0] == pytest.approx(1000.0)
+
+    def test_batch_evaluation(self, amd_catalog):
+        matrix = np.zeros((5, len(zero_signals())))
+        matrix[:, Signal.UOPS] = np.arange(5) * 100.0
+        idx = np.array([amd_catalog.index_of("RETIRED_UOPS")])
+        counts = amd_catalog.counts_for(matrix, rng=None, event_indices=idx)
+        assert counts.shape == (5, 1)
+        assert np.allclose(counts[:, 0], np.arange(5) * 100.0)
+
+    def test_noise_changes_counts_but_not_scale(self, amd_catalog, rng):
+        signals = zero_signals()
+        signals[Signal.UOPS] = 1e6
+        idx = np.array([amd_catalog.index_of("RETIRED_UOPS")])
+        noisy = np.array([
+            amd_catalog.counts_for(signals, rng=rng, event_indices=idx)[0]
+            for _ in range(50)
+        ])
+        assert noisy.std() > 0
+        assert abs(noisy.mean() - 1e6) / 1e6 < 0.05
+
+    def test_counts_never_negative(self, amd_catalog, rng):
+        counts = amd_catalog.counts_for(zero_signals(), rng=rng)
+        assert np.all(counts >= 0)
+
+    def test_host_only_events_ignore_guest_signals(self, amd_catalog):
+        # A syscall-weighted tracepoint must not respond to guest uops.
+        signals = zero_signals()
+        signals[Signal.UOPS] = 1e9
+        insensitive = ~amd_catalog.guest_sensitive
+        counts = amd_catalog.counts_for(
+            signals, rng=None, event_indices=np.flatnonzero(insensitive))
+        assert np.allclose(counts, 0.0)

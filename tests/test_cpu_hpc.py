@@ -1,0 +1,71 @@
+"""Tests for the HPC register file and RDPMC semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.hpc import HpcRegisterFile, PerfCounter
+from repro.cpu.signals import Signal, zero_signals
+
+
+class TestHpcRegisterFile:
+    def test_four_registers_by_default(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        assert hpc.num_registers == 4
+
+    def test_program_and_accumulate(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        hpc.program(0, "RETIRED_UOPS")
+        signals = zero_signals()
+        signals[Signal.UOPS] = 500.0
+        hpc.accumulate(signals, noisy=False)
+        assert hpc.rdpmc(0) == 500
+
+    def test_accumulation_is_cumulative(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        hpc.program(0, "RETIRED_UOPS")
+        signals = zero_signals()
+        signals[Signal.UOPS] = 100.0
+        for _ in range(3):
+            hpc.accumulate(signals, noisy=False)
+        assert hpc.rdpmc(0) == 300
+
+    def test_rdpmc_unprogrammed_raises(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        with pytest.raises(RuntimeError):
+            hpc.rdpmc(0)
+
+    def test_program_resets_value(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        hpc.program(0, "RETIRED_UOPS")
+        signals = zero_signals()
+        signals[Signal.UOPS] = 100.0
+        hpc.accumulate(signals, noisy=False)
+        hpc.program(0, "CPU_CYCLES")
+        assert hpc.rdpmc(0) == 0
+
+    def test_slot_bounds(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        with pytest.raises(IndexError):
+            hpc.program(4, "RETIRED_UOPS")
+        with pytest.raises(IndexError):
+            hpc.program(0, 10**6)
+
+    def test_read_all(self, amd_catalog):
+        hpc = HpcRegisterFile(amd_catalog, rng=0)
+        hpc.program(0, "RETIRED_UOPS")
+        hpc.program(2, "CPU_CYCLES")
+        values = hpc.read_all()
+        assert set(values) == {0, 2}
+
+
+class TestPerfCounter:
+    def test_multiplexing_scale(self):
+        counter = PerfCounter(event_index=0, value=100.0,
+                              enabled_time=1.0, running_time=0.25)
+        assert counter.scaling_factor == pytest.approx(4.0)
+        assert counter.scaled_value() == pytest.approx(400.0)
+
+    def test_unscaled_when_always_running(self):
+        counter = PerfCounter(event_index=0, value=100.0,
+                              enabled_time=1.0, running_time=1.0)
+        assert counter.scaled_value() == pytest.approx(100.0)

@@ -1,0 +1,88 @@
+"""Tests for the RSA workload and the SPA-style key-recovery attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import TraceCollector
+from repro.attacks.spa import KeyRecoveryAttack
+from repro.workloads.crypto import RsaSignWorkload, random_key
+
+
+class TestRsaWorkload:
+    def test_keys_are_distinct_and_normalized(self):
+        workload = RsaSignWorkload(num_bits=32, num_keys=8)
+        keys = workload.secrets
+        assert len(set(keys)) == 8
+        assert all(key[0] == 1 for key in keys)
+        assert all(len(key) == 32 for key in keys)
+
+    def test_schedule_length_tracks_hamming_weight(self, rng):
+        workload = RsaSignWorkload(num_bits=16, num_keys=4)
+        dense = tuple([1] * 16)
+        sparse = tuple([1] + [0] * 15)
+        long_program = workload.program_for(dense, rng)
+        short_program = workload.program_for(sparse, rng)
+        assert len(long_program.phases) == 32
+        assert len(short_program.phases) == 17
+
+    def test_signature_fits_window(self):
+        workload = RsaSignWorkload(num_bits=64, op_seconds=0.018)
+        assert workload.signature_seconds < workload.default_duration_s
+
+    def test_malformed_key_rejected(self, rng):
+        workload = RsaSignWorkload(num_bits=16, num_keys=4)
+        with pytest.raises(ValueError):
+            workload.program_for(tuple([1] * 17), rng)  # wrong length
+        with pytest.raises(ValueError):
+            workload.program_for(tuple([2] + [0] * 15), rng)  # bad bit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RsaSignWorkload(num_bits=1)
+        with pytest.raises(ValueError):
+            RsaSignWorkload(num_keys=1)
+        with pytest.raises(ValueError):
+            random_key(0) if False else RsaSignWorkload(op_seconds=0.0)
+
+
+class TestKeyRecovery:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = RsaSignWorkload(num_bits=32, num_keys=8,
+                                   op_seconds=0.018)
+        collector = TraceCollector(workload, duration_s=1.5,
+                                   slice_s=0.003, rng=1)
+        return workload, collector
+
+    def test_undefended_recovery_near_perfect(self, setup):
+        workload, collector = setup
+        attack = KeyRecoveryAttack(op_slices=6)
+        result = attack.run(collector, workload.secrets, rng=2)
+        assert result.bit_accuracy > 0.95
+        assert result.keys_attacked == 4
+
+    def test_schedule_string(self):
+        attack = KeyRecoveryAttack(op_slices=6)
+        assert attack._schedule((1, 0, 1)) == "SMSSM"
+
+    def test_recover_before_calibrate_raises(self, setup):
+        attack = KeyRecoveryAttack(op_slices=6)
+        with pytest.raises(RuntimeError):
+            attack.recover_bits(np.zeros((4, 100)), 8)
+
+    def test_defense_degrades_recovery(self, setup):
+        from repro.core.obfuscator import EventObfuscator
+        workload, _ = setup
+        obfuscator = EventObfuscator("laplace", epsilon=0.25,
+                                     sensitivity=1e7, rng=5)
+        defended = TraceCollector(workload, duration_s=1.5,
+                                  slice_s=0.003, obfuscator=obfuscator,
+                                  rng=1)
+        attack = KeyRecoveryAttack(op_slices=6)
+        result = attack.run(defended, workload.secrets, rng=2)
+        assert result.bit_accuracy < 0.8
+        assert result.full_key_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyRecoveryAttack(op_slices=0)

@@ -1,0 +1,94 @@
+"""Tests for the CTC forward-backward loss."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ctc import greedy_decode
+from repro.ml.ctc_loss import (
+    ctc_batch_loss,
+    ctc_forward_backward,
+    ctc_loss_and_grad,
+)
+from repro.ml.losses import softmax
+from repro.ml.rnn import BiGruSequenceClassifier
+
+
+class TestForwardBackward:
+    def test_loss_matches_bruteforce_on_tiny_case(self):
+        # T=2 frames, labels=[1]: paths are (1,1), (1,b), (b,1).
+        probs = np.array([[0.2, 0.8], [0.5, 0.5]])
+        log_probs = np.log(probs)
+        log_z, *_ = ctc_forward_backward(log_probs, [1])
+        expected = 0.8 * 0.5 + 0.8 * 0.5 + 0.2 * 0.5
+        assert log_z == pytest.approx(np.log(expected), abs=1e-9)
+
+    def test_alpha_beta_marginal_consistency(self, rng):
+        logits = rng.normal(0, 1, (10, 5))
+        log_probs = np.log(softmax(logits))
+        log_z, alpha, beta, extended = ctc_forward_backward(
+            log_probs, [2, 3, 2])
+        emit = log_probs[:, extended]
+        for t in range(10):
+            marginal = np.logaddexp.reduce(alpha[t] + beta[t] - emit[t])
+            assert marginal == pytest.approx(log_z, abs=1e-8)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(0, 1, (6, 4))
+        labels = [1, 3]
+        _, grad = ctc_loss_and_grad(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 0), (2, 1), (5, 3)]:
+            plus = logits.copy()
+            plus[idx] += eps
+            minus = logits.copy()
+            minus[idx] -= eps
+            numeric = (ctc_loss_and_grad(plus, labels)[0]
+                       - ctc_loss_and_grad(minus, labels)[0]) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=1e-4)
+
+    def test_too_long_labels_rejected(self, rng):
+        log_probs = np.log(softmax(rng.normal(0, 1, (3, 4))))
+        with pytest.raises(ValueError, match="too long"):
+            ctc_forward_backward(log_probs, [1, 2, 1, 2])
+
+    def test_empty_labels_rejected(self, rng):
+        log_probs = np.log(softmax(rng.normal(0, 1, (3, 4))))
+        with pytest.raises(ValueError, match="non-empty"):
+            ctc_forward_backward(log_probs, [])
+
+    def test_batch_averages(self, rng):
+        logits = rng.normal(0, 1, (2, 6, 4))
+        sequences = [[1, 2], [3]]
+        loss, grads = ctc_batch_loss(logits, sequences)
+        loss_a, _ = ctc_loss_and_grad(logits[0], sequences[0])
+        loss_b, _ = ctc_loss_and_grad(logits[1], sequences[1])
+        assert loss == pytest.approx((loss_a + loss_b) / 2)
+        assert grads.shape == logits.shape
+
+
+class TestCtcTraining:
+    def test_bigru_learns_sequences_without_alignment(self, rng):
+        # Two-segment sequences with distinct feature signatures; the
+        # network must learn both the classes and the alignment.
+        t_len, features = 24, 3
+        x = rng.normal(0, 0.3, (30, t_len, features))
+        sequences = []
+        for i in range(30):
+            first = int(rng.integers(1, 3))
+            second = 3 - first  # the other label
+            x[i, 2:10, 0] += 2.0 * first
+            x[i, 14:22, 0] += 2.0 * second
+            sequences.append([first, second])
+        clf = BiGruSequenceClassifier(features, 16, 3, rng=0)
+        curve = clf.fit_ctc(x, sequences, epochs=40, batch_size=6, rng=1)
+        assert curve[-1] < curve[0]  # loss decreases
+        logits = clf.forward(x[:10], training=False)
+        decoded = [greedy_decode(softmax(logits[i]), blank=0)
+                   for i in range(10)]
+        correct = sum(decoded[i] == sequences[i] for i in range(10))
+        assert correct >= 7
+
+    def test_length_mismatch_rejected(self, rng):
+        clf = BiGruSequenceClassifier(2, 4, 3, rng=0)
+        with pytest.raises(ValueError, match="mismatch"):
+            clf.fit_ctc(rng.normal(0, 1, (2, 6, 2)), [[1]])

@@ -1,0 +1,98 @@
+"""Tests for the gadget grammar and the cleanup step."""
+
+import numpy as np
+import pytest
+
+from repro.core.fuzzer import Gadget, GadgetGrammar, InstructionCleaner
+from repro.isa.legality import AMD_EPYC_7252
+from repro.isa.spec import FaultKind
+
+
+@pytest.fixture(scope="module")
+def cleanup(isa_catalog_module):
+    return InstructionCleaner(isa_catalog_module, AMD_EPYC_7252).run()
+
+
+@pytest.fixture(scope="module")
+def isa_catalog_module():
+    from repro.isa.catalog import build_catalog
+    return build_catalog()
+
+
+class TestCleanup:
+    def test_legal_fraction(self, cleanup):
+        assert cleanup.legal_fraction == pytest.approx(0.2431, abs=0.02)
+
+    def test_ud_dominates_faults(self, cleanup):
+        assert cleanup.ud_fault_share > 0.97
+
+    def test_assembly_listing_covers_catalog(self, cleanup):
+        assert cleanup.assembly_lines == cleanup.total_variants
+
+    def test_legal_instructions_are_unprivileged(self, cleanup):
+        names = {spec.mnemonic.split(" ")[0] for spec in cleanup.legal}
+        assert "WBINVD" not in names
+        assert "RDMSR" not in names
+
+
+class TestGadget:
+    def test_requires_trigger(self, cleanup):
+        with pytest.raises(ValueError):
+            Gadget(reset=(), trigger=())
+
+    def test_empty_reset_allowed(self, cleanup):
+        gadget = Gadget(reset=(), trigger=(cleanup.legal[0],))
+        assert "(none)" in gadget.name
+
+    def test_signature_groups_by_extension_and_category(self, cleanup):
+        a = Gadget(reset=(), trigger=(cleanup.legal[0],))
+        b = Gadget(reset=(), trigger=(cleanup.legal[0],))
+        assert a.signature == b.signature
+
+    def test_instruction_count(self, cleanup):
+        gadget = Gadget(reset=(cleanup.legal[0],),
+                        trigger=(cleanup.legal[1],))
+        assert gadget.instruction_count == 2
+
+
+class TestGrammar:
+    def test_search_space_matches_paper_scale(self, cleanup):
+        grammar = GadgetGrammar(cleanup.legal, rng=0)
+        # ~3400^2 ~ 11.6M single-instruction pairs, as in the paper.
+        assert 10e6 < grammar.search_space_size < 13e6
+
+    def test_sampling_deterministic(self, cleanup):
+        a = GadgetGrammar(cleanup.legal, rng=3).sample_batch(10)
+        b = GadgetGrammar(cleanup.legal, rng=3).sample_batch(10)
+        assert [g.name for g in a] == [g.name for g in b]
+
+    def test_empty_reset_probability(self, cleanup):
+        grammar = GadgetGrammar(cleanup.legal, empty_reset_prob=1.0, rng=0)
+        assert all(not g.reset for g in grammar.sample_batch(20))
+        grammar = GadgetGrammar(cleanup.legal, empty_reset_prob=0.0, rng=0)
+        assert all(g.reset for g in grammar.sample_batch(20))
+
+    def test_multi_instruction_sequences(self, cleanup):
+        grammar = GadgetGrammar(cleanup.legal, sequence_length=3,
+                                empty_reset_prob=0.0, rng=0)
+        gadget = grammar.sample()
+        assert len(gadget.trigger) == 3 and len(gadget.reset) == 3
+
+    def test_enumerate_pairs_limit(self, cleanup):
+        grammar = GadgetGrammar(cleanup.legal[:10], rng=0)
+        pairs = grammar.enumerate_pairs(limit=25)
+        assert len(pairs) == 25
+        assert pairs[0].reset[0] is cleanup.legal[0]
+
+    def test_enumerate_requires_length_one(self, cleanup):
+        grammar = GadgetGrammar(cleanup.legal[:5], sequence_length=2, rng=0)
+        with pytest.raises(ValueError):
+            grammar.enumerate_pairs()
+
+    def test_validation(self, cleanup):
+        with pytest.raises(ValueError):
+            GadgetGrammar([])
+        with pytest.raises(ValueError):
+            GadgetGrammar(cleanup.legal, sequence_length=0)
+        with pytest.raises(ValueError):
+            GadgetGrammar(cleanup.legal, empty_reset_prob=1.5)

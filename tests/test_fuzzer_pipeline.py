@@ -1,0 +1,76 @@
+"""Integration tests for the EventFuzzer orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core.fuzzer import EventFuzzer
+
+
+@pytest.fixture(scope="module")
+def small_report(amd_catalog_module):
+    catalog = amd_catalog_module
+    events = [catalog.index_of(n) for n in
+              ("RETIRED_UOPS", "RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR",
+               "DATA_CACHE_REFILLS_FROM_SYSTEM", "LS_DISPATCH",
+               "RETIRED_X87_FP_OPS", "MUL_OPS_RETIRED",
+               "RETIRED_COND_BRANCHES", "CACHE_LINE_FLUSHES")]
+    fuzzer = EventFuzzer(gadget_budget=800, confirm_per_event=8, rng=11)
+    return fuzzer.fuzz(np.array(events)), catalog
+
+
+@pytest.fixture(scope="module")
+def amd_catalog_module():
+    from repro.cpu.events import processor_catalog
+    return processor_catalog("amd-epyc-7252")
+
+
+class TestFuzzingReport:
+    def test_all_steps_timed(self, small_report):
+        report, _ = small_report
+        assert set(report.step_seconds) == {
+            "cleanup", "generation_execution", "confirmation", "filtering"}
+        assert all(v >= 0 for v in report.step_seconds.values())
+
+    def test_search_space_scale(self, small_report):
+        report, _ = small_report
+        assert 10e6 < report.search_space_size < 13e6
+
+    def test_throughput_positive(self, small_report):
+        report, _ = small_report
+        assert report.throughput_gadgets_per_second > 0
+
+    def test_ubiquitous_event_has_most_gadgets(self, small_report):
+        report, catalog = small_report
+        most = report.most_fuzzed_event()
+        # Events modified by nearly all instructions dominate (paper:
+        # instruction-count events are the most vulnerable).
+        assert catalog.specs[most].name in ("RETIRED_UOPS", "LS_DISPATCH")
+        stats = report.gadget_count_stats()
+        assert stats["max"] >= stats["mean"] >= stats["median"]
+
+    def test_most_events_get_confirmed_gadgets(self, small_report):
+        report, _ = small_report
+        confirmed = sum(1 for v in report.confirmed_per_event.values() if v)
+        assert confirmed >= 6  # of the 8 hand-picked events
+
+    def test_covering_set_smaller_than_event_count(self, small_report):
+        report, _ = small_report
+        covered = {e for events in report.covering_set.values()
+                   for e in events}
+        assert len(report.covering_set) <= len(covered)
+        confirmed = {e for e, v in report.confirmed_per_event.items() if v}
+        assert covered == confirmed
+
+    def test_confirmed_gadgets_have_positive_delta(self, small_report):
+        report, _ = small_report
+        for results in report.confirmed_per_event.values():
+            for result in results:
+                assert result.confirmed
+                assert result.per_iteration_delta > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventFuzzer(gadget_budget=0)
+        fuzzer = EventFuzzer(gadget_budget=10, rng=0)
+        with pytest.raises(ValueError):
+            fuzzer.fuzz(np.array([], dtype=int))

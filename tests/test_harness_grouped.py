@@ -1,0 +1,60 @@
+"""Tests for the harness's hardware-grouped measurement mode.
+
+``fast=False`` measures events in register groups of four via
+program/RDPMC cycles — exactly what real silicon forces — instead of
+evaluating every event from one recorded signal vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fuzzer import ExecutionHarness, Gadget
+from repro.cpu.core import Core
+
+
+@pytest.fixture()
+def grouped_harness():
+    core = Core("amd-epyc-7252", rng=np.random.default_rng(7))
+    return ExecutionHarness(core, unroll=16, fast=False, rng=8)
+
+
+class TestGroupedMeasurement:
+    def test_matches_fast_mode_statistically(self, isa_catalog):
+        gadget = Gadget(reset=(),
+                        trigger=(isa_catalog.get("PADDB xmm,xmm"),))
+
+        def measure(fast):
+            core = Core("amd-epyc-7252", rng=np.random.default_rng(7))
+            harness = ExecutionHarness(core, unroll=16, fast=fast, rng=8)
+            event = np.array([core.catalog.index_of(
+                "RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR")])
+            return harness.measure_gadget(gadget, event).deltas[0]
+
+        fast_delta = measure(True)
+        grouped_delta = measure(False)
+        assert grouped_delta == pytest.approx(fast_delta, rel=0.5)
+        assert grouped_delta > 8
+
+    def test_more_events_than_registers_splits_groups(self, grouped_harness,
+                                                      isa_catalog):
+        catalog = grouped_harness.core.catalog
+        events = np.array([catalog.index_of(name) for name in (
+            "RETIRED_UOPS", "LS_DISPATCH", "MAB_ALLOCATION_BY_PIPE",
+            "DATA_CACHE_REFILLS_FROM_SYSTEM", "CPU_CYCLES",
+            "RETIRED_COND_BRANCHES")])
+        before = grouped_harness.executions
+        body = [isa_catalog.get("ADD r64,r64")]
+        measured = grouped_harness.measure_body(body, events, repeats=4)
+        # Six events on four registers = two separate executions.
+        assert grouped_harness.executions - before == 2
+        assert measured.deltas.shape == (6,)
+        assert measured.signals is not None
+        assert measured.cycles > 0
+
+    def test_uops_delta_reflects_body(self, grouped_harness, isa_catalog):
+        catalog = grouped_harness.core.catalog
+        event = np.array([catalog.index_of("RETIRED_UOPS")])
+        body = [isa_catalog.get("ADD r64,r64")]
+        measured = grouped_harness.measure_body(body, event, repeats=8)
+        # 8 body uops plus the measurement frame's prolog/epilog.
+        assert measured.deltas[0] > 8

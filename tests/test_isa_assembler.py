@@ -1,0 +1,23 @@
+"""Tests for the tiny assembler round-trip."""
+
+import pytest
+
+from repro.isa import assemble, disassemble
+
+
+class TestAssembler:
+    def test_round_trip(self, isa_catalog):
+        specs = list(isa_catalog)[:50]
+        text = disassemble(specs)
+        parsed = assemble(text, isa_catalog)
+        assert parsed == specs
+
+    def test_comments_and_blanks_ignored(self, isa_catalog):
+        text = "; a comment\n\nCPUID ; trailing\n"
+        parsed = assemble(text, isa_catalog)
+        assert len(parsed) == 1
+        assert parsed[0].mnemonic == "CPUID"
+
+    def test_unknown_line_reports_lineno(self, isa_catalog):
+        with pytest.raises(KeyError, match="line 2"):
+            assemble("CPUID\nBOGUS op\n", isa_catalog)

@@ -1,0 +1,59 @@
+"""Tests for legality testing (the fuzzer's cleanup substrate)."""
+
+import pytest
+
+from repro.isa.legality import (
+    AMD_EPYC_7252,
+    INTEL_XEON_E5_1650,
+    LegalityTester,
+    MICROARCH_PROFILES,
+    MicroArchProfile,
+)
+from repro.isa.spec import Extension, FaultKind
+
+
+class TestLegality:
+    def test_legal_fraction_matches_paper(self, isa_catalog):
+        for profile, expected in ((INTEL_XEON_E5_1650, 0.2416),
+                                  (AMD_EPYC_7252, 0.2431)):
+            report = LegalityTester(isa_catalog, profile).run()
+            assert report.legal_fraction == pytest.approx(expected, abs=0.02)
+
+    def test_fault_histogram_dominated_by_ud(self, isa_catalog):
+        report = LegalityTester(isa_catalog, AMD_EPYC_7252).run()
+        hist = report.fault_histogram()
+        total = sum(hist.values())
+        assert hist[FaultKind.UNDEFINED_OPCODE] / total > 0.97
+
+    def test_privileged_instructions_fault_gp(self, isa_catalog):
+        tester = LegalityTester(isa_catalog, AMD_EPYC_7252)
+        assert tester.fault_of(isa_catalog.get("WBINVD")) \
+            is FaultKind.GENERAL_PROTECTION
+        assert tester.fault_of(isa_catalog.get("RDMSR")) \
+            is FaultKind.GENERAL_PROTECTION
+
+    def test_unsupported_extension_faults_ud(self, isa_catalog):
+        # AMD profile has no TSX.
+        tester = LegalityTester(isa_catalog, AMD_EPYC_7252)
+        assert tester.fault_of(isa_catalog.get("XBEGIN")) \
+            is FaultKind.UNDEFINED_OPCODE
+
+    def test_deterministic_verdicts(self, isa_catalog):
+        t1 = LegalityTester(isa_catalog, AMD_EPYC_7252)
+        t2 = LegalityTester(isa_catalog, AMD_EPYC_7252)
+        for spec in list(isa_catalog)[:200]:
+            assert t1.fault_of(spec) == t2.fault_of(spec)
+
+    def test_idempotent_cleanup(self, isa_catalog):
+        tester = LegalityTester(isa_catalog, AMD_EPYC_7252)
+        report = tester.run()
+        # Every legal instruction stays legal on re-test.
+        assert all(tester.is_legal(spec) for spec in report.legal)
+
+    def test_profiles_registered(self):
+        assert len(MICROARCH_PROFILES) == 4
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            MicroArchProfile("x", frozenset({Extension.BASE}),
+                             target_legal_fraction=0.0)

@@ -1,0 +1,50 @@
+"""Tests for MEA training modes and decoding options."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ModelExtractionAttack, TraceCollector
+from repro.workloads import DnnWorkload
+
+
+@pytest.fixture(scope="module")
+def small_mea_dataset():
+    workload = DnnWorkload()
+    collector = TraceCollector(workload, duration_s=2.0, slice_s=0.01,
+                               rng=5)
+    return collector.collect(4, secrets=["alexnet", "vgg11"],
+                             with_frames=True)
+
+
+class TestTrainingModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="training"):
+            ModelExtractionAttack(training="viterbi")
+
+    def test_framewise_curve_is_accuracy(self, small_mea_dataset):
+        attack = ModelExtractionAttack(downsample=2, epochs=3, rng=0)
+        curve = attack.train(small_mea_dataset)
+        assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_ctc_curve_is_loss(self, small_mea_dataset):
+        attack = ModelExtractionAttack(downsample=2, epochs=3,
+                                       training="ctc", rng=0)
+        curve = attack.train(small_mea_dataset)
+        assert curve[-1] <= curve[0]  # NLL decreases
+        assert curve[0] > 1.0  # losses, not accuracies
+
+    def test_decode_options(self, small_mea_dataset):
+        attack = ModelExtractionAttack(downsample=2, epochs=4, rng=0)
+        attack.train(small_mea_dataset)
+        traces = small_mea_dataset.traces[:2]
+        beam = attack.predict_sequences(traces, use_beam=True)
+        best_path = attack.predict_sequences(traces, use_beam=False)
+        assert len(beam) == len(best_path) == 2
+        assert all(isinstance(s, list) for s in beam)
+
+    def test_transition_lm_shape(self, small_mea_dataset):
+        attack = ModelExtractionAttack(downsample=2, epochs=2, rng=0)
+        attack.train(small_mea_dataset)
+        num_classes = len(attack.frame_classes) + 1
+        assert attack.transition_lm.shape == (num_classes, num_classes)
+        assert np.allclose(attack.transition_lm.sum(axis=1), 1.0)

@@ -1,0 +1,129 @@
+"""Tests for the GRU, BiGRU classifier and CTC decoding."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ctc import (
+    beam_search_decode,
+    collapse_repeats,
+    edit_distance,
+    greedy_decode,
+    sequence_accuracy,
+)
+from repro.ml.rnn import BiGruSequenceClassifier, GruLayer
+
+
+class TestGru:
+    def test_output_shape(self, rng):
+        gru = GruLayer(3, 5, rng=0)
+        out = gru.forward(rng.normal(0, 1, (2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_bptt_input_gradient_matches_numeric(self, rng):
+        gru = GruLayer(3, 4, rng=0)
+        x = rng.normal(0, 1, (2, 5, 3))
+
+        def f(value, index):
+            x2 = x.copy()
+            x2[index] = value
+            return gru.forward(x2).sum()
+
+        gru.forward(x)
+        dx = gru.backward(np.ones((2, 5, 4)))
+        eps = 1e-6
+        for index in [(0, 0, 0), (1, 2, 1), (0, 4, 2)]:
+            numeric = (f(x[index] + eps, index)
+                       - f(x[index] - eps, index)) / (2 * eps)
+            assert dx[index] == pytest.approx(numeric, abs=1e-4)
+
+    def test_bptt_weight_gradient_matches_numeric(self, rng):
+        gru = GruLayer(2, 3, rng=0)
+        x = rng.normal(0, 1, (1, 4, 2))
+        gru.forward(x)
+        gru.backward(np.ones((1, 4, 3)))
+        analytic = gru.grads[5][1, 2]  # Un
+        eps = 1e-6
+        gru.Un[1, 2] += eps
+        f_plus = gru.forward(x).sum()
+        gru.Un[1, 2] -= 2 * eps
+        f_minus = gru.forward(x).sum()
+        gru.Un[1, 2] += eps
+        assert analytic == pytest.approx((f_plus - f_minus) / (2 * eps),
+                                         abs=1e-4)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            GruLayer(0, 4)
+
+
+class TestBiGru:
+    def test_learns_synthetic_segments(self, rng):
+        t_len, features = 20, 3
+        x = rng.normal(0, 0.3, (40, t_len, features))
+        labels = np.zeros((40, t_len), dtype=int)
+        for i in range(40):
+            kind = int(rng.integers(1, 3))
+            start = int(rng.integers(0, t_len - 5))
+            labels[i, start:start + 5] = kind
+            x[i, start:start + 5, 0] += 2.0 * kind
+        clf = BiGruSequenceClassifier(features, 16, 3, rng=0)
+        curve = clf.fit_frames(x, labels, epochs=15, rng=1)
+        assert curve[-1] > 0.9
+        assert curve[-1] >= curve[0]
+
+    def test_predict_frames_shape(self, rng):
+        clf = BiGruSequenceClassifier(2, 4, 3, rng=0)
+        frames = clf.predict_frames(rng.normal(0, 1, (3, 6, 2)))
+        assert frames.shape == (3, 6)
+
+    def test_label_shape_validated(self, rng):
+        clf = BiGruSequenceClassifier(2, 4, 3, rng=0)
+        with pytest.raises(ValueError):
+            clf.fit_frames(rng.normal(0, 1, (2, 6, 2)),
+                           np.zeros((2, 5), dtype=int))
+
+
+class TestCtc:
+    def test_collapse_repeats(self):
+        assert collapse_repeats([0, 1, 1, 0, 2, 2, 2, 1]) == [1, 2, 1]
+
+    def test_collapse_all_blank(self):
+        assert collapse_repeats([0, 0, 0]) == []
+
+    def test_greedy_decode(self):
+        probs = np.array([[0.9, 0.1, 0.0],
+                          [0.1, 0.9, 0.0],
+                          [0.1, 0.9, 0.0],
+                          [0.0, 0.1, 0.9]])
+        assert greedy_decode(probs) == [1, 2]
+
+    def test_beam_search_matches_greedy_on_confident_input(self):
+        probs = np.array([[0.05, 0.9, 0.05],
+                          [0.9, 0.05, 0.05],
+                          [0.05, 0.05, 0.9]])
+        assert beam_search_decode(probs, beam_width=4) == greedy_decode(probs)
+
+    def test_beam_search_repeat_with_blank_gap(self):
+        # label, blank, same label -> two occurrences.
+        probs = np.array([[0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        assert beam_search_decode(probs[:, [1, 0]] if False else
+                                  np.array([[0.0, 1.0],
+                                            [1.0, 0.0],
+                                            [0.0, 1.0]])) == [1, 1]
+
+    def test_edit_distance(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+        assert edit_distance([1, 2, 3], [1, 3]) == 1
+        assert edit_distance([], [1, 2]) == 2
+        assert edit_distance([1, 2], [2, 1]) == 2
+
+    def test_sequence_accuracy(self):
+        assert sequence_accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+        assert sequence_accuracy([1, 2], [1, 2, 3, 4]) == pytest.approx(0.5)
+        assert sequence_accuracy([], []) == 1.0
+
+    def test_decode_validates_shape(self):
+        with pytest.raises(ValueError):
+            greedy_decode(np.zeros(5))
+        with pytest.raises(ValueError):
+            beam_search_decode(np.zeros((3, 2)), beam_width=0)

@@ -1,0 +1,134 @@
+"""Tests for losses, optimizers, training loop, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    Dense,
+    Network,
+    Relu,
+    SGD,
+    SoftmaxCrossEntropy,
+    accuracy_score,
+    confusion_matrix,
+    softmax,
+)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert loss.forward(logits, labels) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(0, 1, (3, 5))
+        labels = np.array([0, 2, 4])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (2, 3)]:
+            plus = logits.copy()
+            plus[idx] += eps
+            minus = logits.copy()
+            minus[idx] -= eps
+            numeric = (loss.forward(plus, labels)
+                       - loss.forward(minus, labels)) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=1e-5)
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(0, 10, (6, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        opt = SGD(lr=0.1, momentum=0.0)
+        param = np.array([1.0])
+        opt.step([param], [np.array([2.0])])
+        assert param[0] == pytest.approx(0.8)
+
+    def test_sgd_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        param = np.array([0.0])
+        opt.step([param], [np.array([1.0])])
+        opt.step([param], [np.array([1.0])])
+        assert param[0] == pytest.approx(-0.1 - 0.19)
+
+    def test_adam_converges_on_quadratic(self):
+        opt = Adam(lr=0.1)
+        param = np.array([5.0])
+        for _ in range(200):
+            opt.step([param], [2 * param])
+        assert abs(param[0]) < 0.05
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+
+
+class TestNetworkFit:
+    def test_learns_separable_blobs(self, rng):
+        x = np.vstack([rng.normal(i * 4, 1.0, (60, 6)) for i in range(3)])
+        y = np.repeat(np.arange(3), 60)
+        net = Network([Dense(6, 24, rng=0), Relu(), Dense(24, 3, rng=1)])
+        history = net.fit(x, y, x, y, epochs=25, batch_size=32,
+                          optimizer=Adam(lr=1e-2), rng=2)
+        assert history.final_val_accuracy > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_histories_have_epoch_length(self, rng):
+        x = rng.normal(0, 1, (32, 4))
+        y = rng.integers(0, 2, 32)
+        net = Network([Dense(4, 2, rng=0)])
+        history = net.fit(x, y, epochs=5, rng=1)
+        assert len(history.train_loss) == 5
+        assert history.val_accuracy == []
+
+    def test_lr_decay_validated(self, rng):
+        net = Network([Dense(2, 2, rng=0)])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((4, 2)), np.zeros(4, dtype=int), lr_decay=0.0)
+
+    def test_predict_shapes(self, rng):
+        net = Network([Dense(4, 3, rng=0)])
+        x = rng.normal(0, 1, (10, 4))
+        assert net.predict(x).shape == (10,)
+        probs = net.predict_proba(x)
+        assert probs.shape == (10, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network([])
+
+    def test_mismatched_xy_rejected(self, rng):
+        net = Network([Dense(2, 2, rng=0)])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1, 2, 3])
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1], [0, 1, 1], num_classes=2)
+        assert cm.tolist() == [[1, 1], [0, 1]]

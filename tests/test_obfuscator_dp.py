@@ -1,0 +1,140 @@
+"""Tests and property tests for the DP mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.obfuscator.dp import (
+    DstarMechanism,
+    LaplaceMechanism,
+    dstar_parent,
+    laplace_sample,
+    largest_dividing_power_of_two,
+)
+
+
+class TestLaplaceSampling:
+    def test_moments(self, rng):
+        samples = laplace_sample(2.0, rng, size=200_000)
+        assert abs(samples.mean()) < 0.05
+        # Laplace(b) has std = b * sqrt(2).
+        assert samples.std() == pytest.approx(2.0 * np.sqrt(2), rel=0.02)
+
+    def test_matches_numpy_distribution(self, rng):
+        ours = np.sort(laplace_sample(1.0, np.random.default_rng(0),
+                                      size=50_000))
+        theirs = np.sort(np.random.default_rng(1).laplace(0, 1.0, 50_000))
+        # Kolmogorov-Smirnov style sup-distance on empirical CDFs.
+        grid = np.linspace(-5, 5, 201)
+        cdf_a = np.searchsorted(ours, grid) / len(ours)
+        cdf_b = np.searchsorted(theirs, grid) / len(theirs)
+        assert np.abs(cdf_a - cdf_b).max() < 0.02
+
+    def test_zero_scale(self, rng):
+        assert laplace_sample(0.0, rng) == 0.0
+
+    def test_rejects_negative_scale(self, rng):
+        with pytest.raises(ValueError):
+            laplace_sample(-1.0, rng)
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale_follows_epsilon(self, rng):
+        small_eps = LaplaceMechanism(epsilon=0.25, sensitivity=1.0)
+        large_eps = LaplaceMechanism(epsilon=4.0, sensitivity=1.0)
+        x = np.zeros(50_000)
+        noisy_small = small_eps.noise_sequence(x, rng=1)
+        noisy_large = large_eps.noise_sequence(x, rng=1)
+        assert np.abs(noisy_small).mean() == pytest.approx(
+            16 * np.abs(noisy_large).mean(), rel=0.1)
+
+    def test_sensitivity_scales_noise(self):
+        a = LaplaceMechanism(1.0, sensitivity=1.0).noise_sequence(
+            np.zeros(20_000), rng=2)
+        b = LaplaceMechanism(1.0, sensitivity=5.0).noise_sequence(
+            np.zeros(20_000), rng=2)
+        assert np.abs(b).mean() == pytest.approx(5 * np.abs(a).mean(),
+                                                 rel=0.05)
+
+    def test_guarantee_string(self):
+        assert "0.5-differential privacy" in LaplaceMechanism(
+            0.5).privacy_guarantee
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0, sensitivity=0.0)
+
+
+class TestDstarStructure:
+    def test_largest_dividing_power_of_two(self):
+        assert [largest_dividing_power_of_two(t) for t in range(1, 13)] \
+            == [1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4]
+
+    def test_parent_follows_eq4(self):
+        # G(1)=0; powers of two halve; otherwise subtract D(t).
+        assert dstar_parent(1) == 0
+        assert dstar_parent(2) == 1
+        assert dstar_parent(4) == 2
+        assert dstar_parent(8) == 4
+        assert dstar_parent(3) == 2
+        assert dstar_parent(6) == 4
+        assert dstar_parent(7) == 6
+        assert dstar_parent(12) == 8
+
+    def test_parent_is_causal(self):
+        for t in range(1, 2000):
+            assert 0 <= dstar_parent(t) < t
+
+    def test_noise_scale_eq5(self):
+        mech = DstarMechanism(epsilon=1.0)
+        assert mech.noise_scale_at(4) == pytest.approx(1.0)  # power of two
+        assert mech.noise_scale_at(6) == pytest.approx(2.0)  # floor(log2 6)
+        assert mech.noise_scale_at(1025) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dstar_parent(0)
+        with pytest.raises(ValueError):
+            largest_dividing_power_of_two(0)
+        with pytest.raises(ValueError):
+            DstarMechanism(1.0).noise_scale_at(0)
+
+
+class TestDstarMechanism:
+    def test_reconstruction_tracks_signal(self, rng):
+        mech = DstarMechanism(epsilon=8.0, sensitivity=1.0)
+        x = np.cumsum(rng.normal(0, 1, 256)) + 100
+        noise = mech.noise_sequence(x, rng=3)
+        assert noise.shape == x.shape
+        # High epsilon -> small noise -> x~ close to x.
+        assert np.abs(noise).mean() < 3.0
+
+    def test_noise_grows_as_epsilon_shrinks(self):
+        x = np.zeros(512)
+        small = DstarMechanism(epsilon=0.5).noise_sequence(x, rng=4)
+        large = DstarMechanism(epsilon=8.0).noise_sequence(x, rng=4)
+        assert np.abs(small).mean() > np.abs(large).mean()
+
+    def test_dstar_noisier_than_laplace_at_equal_epsilon(self):
+        # The tree mechanism pays a log(t) factor per slice.
+        x = np.zeros(1024)
+        lap = LaplaceMechanism(1.0).noise_sequence(x, rng=5)
+        dstar = DstarMechanism(1.0).noise_sequence(x, rng=5)
+        assert np.abs(dstar).mean() > 2 * np.abs(lap).mean()
+
+    def test_guarantee_doubles_epsilon(self):
+        assert "(d*, 3)-privacy" in DstarMechanism(1.5).privacy_guarantee
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            DstarMechanism(1.0).noise_sequence(np.zeros((4, 4)), rng=0)
+
+    @given(eps=st.floats(0.25, 8.0), t_len=st.integers(2, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_noise_sequence_shape_property(self, eps, t_len):
+        noise = DstarMechanism(eps).noise_sequence(np.zeros(t_len), rng=7)
+        assert noise.shape == (t_len,)
+        assert np.all(np.isfinite(noise))

@@ -1,0 +1,230 @@
+"""Tests for the noise calculator, kernel module, daemon and injector."""
+
+import numpy as np
+import pytest
+
+from repro.core.obfuscator import (
+    EventObfuscator,
+    KernelModule,
+    NetlinkChannel,
+    NoiseCalculator,
+    NoiseInjector,
+    RandomNoiseInjector,
+    SecretTiedNoise,
+    UserspaceDaemon,
+    estimate_sensitivity,
+)
+from repro.core.obfuscator.dp import DstarMechanism, LaplaceMechanism
+from repro.core.obfuscator.injector import default_noise_segment
+from repro.core.obfuscator.kernel_module import HpcSample
+from repro.cpu.signals import NUM_SIGNALS, Signal
+
+
+class TestNoiseCalculator:
+    def test_buffered_draws_match_laplace(self):
+        calc = NoiseCalculator(scale=2.0, buffer_size=1024, rng=0)
+        draws = calc.take(50_000)
+        assert abs(draws.mean()) < 0.1
+        assert draws.std() == pytest.approx(2.0 * np.sqrt(2), rel=0.05)
+        assert calc.refills >= 48
+
+    def test_rescale_drops_buffer(self):
+        calc = NoiseCalculator(scale=1.0, buffer_size=16, rng=0)
+        calc.next()
+        calc.rescale(10.0)
+        draws = calc.take(5000)
+        assert draws.std() == pytest.approx(10 * np.sqrt(2), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseCalculator(scale=-1.0)
+        with pytest.raises(ValueError):
+            NoiseCalculator(scale=1.0, buffer_size=0)
+        with pytest.raises(ValueError):
+            NoiseCalculator(scale=1.0, rng=0).take(-1)
+
+
+class TestKernelModule:
+    def test_netlink_queue_fifo(self):
+        channel = NetlinkChannel(capacity=4)
+        for i in range(3):
+            channel.send(HpcSample(i, float(i)))
+        assert channel.receive().slice_index == 0
+        assert len(channel) == 2
+
+    def test_netlink_overflow_drops(self):
+        channel = NetlinkChannel(capacity=2)
+        assert channel.send(HpcSample(0, 0.0))
+        assert channel.send(HpcSample(1, 1.0))
+        assert not channel.send(HpcSample(2, 2.0))
+        assert channel.dropped == 1
+
+    def test_module_streams_only_when_monitoring(self):
+        module = KernelModule()
+        module.launch(monitor_hpcs=False)
+        module.on_hpc_read(1.0)
+        assert len(module.channel) == 0
+        module.launch(monitor_hpcs=True)
+        module.on_hpc_read(2.0)
+        assert len(module.channel) == 1
+
+    def test_read_before_launch_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelModule().on_hpc_read(1.0)
+
+
+@pytest.fixture()
+def injector(amd_catalog):
+    reference = amd_catalog.weights[amd_catalog.index_of("RETIRED_UOPS")]
+    return NoiseInjector(default_noise_segment(), reference,
+                         clip_bound=1e7)
+
+
+class TestInjector:
+    def test_injection_realizes_counts(self, injector):
+        matrix = np.zeros((10, NUM_SIGNALS))
+        noise = np.full(10, 1280.0)  # exactly 10 reps at 128 uops/rep
+        obfuscated, report = injector.inject(matrix, noise)
+        assert np.allclose(report.repetitions, 10)
+        assert obfuscated[0, Signal.UOPS] == pytest.approx(1280.0)
+        assert report.total_cycles > 0
+
+    def test_clipping_bounds(self, injector):
+        matrix = np.zeros((3, NUM_SIGNALS))
+        noise = np.array([-500.0, 5e6, 5e8])
+        _, report = injector.inject(matrix, noise)
+        assert report.injected_reference_counts[0] == 0.0
+        assert report.injected_reference_counts[2] <= 1e7 + 128
+        assert report.clipped_slices == 2
+
+    def test_injection_never_negative(self, injector, rng):
+        matrix = np.zeros((50, NUM_SIGNALS))
+        noise = rng.normal(0, 1e4, 50)
+        obfuscated, report = injector.inject(matrix, noise)
+        assert np.all(report.repetitions >= 0)
+        assert np.all(obfuscated >= matrix)
+
+    def test_overhead_accounting(self, injector):
+        matrix = np.zeros((4, NUM_SIGNALS))
+        _, report = injector.inject(matrix, np.full(4, 1280.0))
+        app_cycles = np.full(4, 1e6)
+        assert report.latency_overhead(app_cycles) == pytest.approx(
+            report.total_cycles / 4e6)
+        active = np.array([True, False, False, False])
+        assert report.latency_overhead(app_cycles, active) == pytest.approx(
+            report.injected_cycles[0] / 1e6)
+
+    def test_rejects_dead_reference(self, amd_catalog):
+        segment = default_noise_segment()
+        dead_reference = np.zeros(NUM_SIGNALS)
+        with pytest.raises(ValueError, match="reference"):
+            NoiseInjector(segment, dead_reference)
+
+    def test_rejects_bad_shapes(self, injector):
+        with pytest.raises(ValueError):
+            injector.inject(np.zeros((4, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            injector.inject(np.zeros((4, NUM_SIGNALS)), np.zeros(3))
+
+
+class TestEstimateSensitivity:
+    def test_recovers_gap(self):
+        traces = np.vstack([np.full((5, 8), 10.0), np.full((5, 8), 14.0)])
+        labels = np.repeat([0, 1], 5)
+        assert estimate_sensitivity(traces, labels) == pytest.approx(4.0)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            estimate_sensitivity(np.zeros((4, 8)), np.zeros(4))
+
+    def test_adjacent_peak_sees_transients_mean_gap_misses(self, rng):
+        # Bursty traces: a transient spike whose position varies run to
+        # run. Position-averaged class means flatten it; the peak-based
+        # estimator measures the full burst height.
+        traces = np.full((40, 100), 10.0)
+        labels = np.repeat([0, 1], 20)
+        for i in range(20, 40):  # class 1 has one burst per trace
+            traces[i, int(rng.integers(0, 100))] += 1000.0
+        mean_gap = estimate_sensitivity(traces, labels, mode="mean-gap")
+        peak = estimate_sensitivity(traces, labels, mode="adjacent-peak")
+        assert peak > 5 * mean_gap
+        assert peak == pytest.approx(1000.0, rel=0.05)
+
+    def test_unknown_mode_rejected(self):
+        traces = np.zeros((4, 8))
+        labels = np.array([0, 0, 1, 1])
+        with pytest.raises(ValueError, match="mode"):
+            estimate_sensitivity(traces, labels, mode="l2")
+
+
+class TestDaemonAndObfuscator:
+    def test_laplace_daemon_uses_buffer(self, injector):
+        daemon = UserspaceDaemon(LaplaceMechanism(1.0, 100.0), injector,
+                                 rng=0)
+        noise = daemon.compute_noise(np.zeros(256))
+        assert noise.shape == (256,)
+        assert daemon.calculator.refills >= 1
+        assert not daemon.needs_hpc_monitoring
+
+    def test_dstar_daemon_streams_via_netlink(self, injector):
+        daemon = UserspaceDaemon(DstarMechanism(1.0, 100.0), injector,
+                                 rng=0)
+        assert daemon.needs_hpc_monitoring
+        noise = daemon.compute_noise(np.linspace(0, 1000, 64))
+        assert noise.shape == (64,)
+        assert daemon.kernel_module.running
+
+    def test_obfuscator_end_to_end(self, amd_catalog):
+        obf = EventObfuscator("laplace", epsilon=1.0, sensitivity=1000.0,
+                              clip_bound=1e6, rng=0)
+        matrix = np.zeros((100, NUM_SIGNALS))
+        matrix[:, Signal.UOPS] = 1e5
+        out = obf.obfuscate_matrix(matrix, 0.001)
+        assert out.shape == matrix.shape
+        assert np.all(out[:, Signal.UOPS] >= matrix[:, Signal.UOPS])
+        assert obf.last_report is not None
+        assert len(obf.reports) == 1
+        obf.reset_reports()
+        assert obf.reports == []
+
+    def test_obfuscator_changes_observed_counts(self, amd_catalog, rng):
+        obf = EventObfuscator("laplace", epsilon=0.5, sensitivity=5000.0,
+                              rng=0)
+        matrix = np.zeros((200, NUM_SIGNALS))
+        matrix[:, Signal.UOPS] = 1e5
+        out = obf.obfuscate_matrix(matrix, 0.001)
+        added = out[:, Signal.UOPS] - matrix[:, Signal.UOPS]
+        assert added.std() > 1000  # randomized, substantial noise
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            EventObfuscator("gaussian")
+
+    def test_privacy_guarantee_exposed(self):
+        obf = EventObfuscator("dstar", epsilon=2.0, sensitivity=10.0, rng=0)
+        assert "(d*, 4)" in obf.privacy_guarantee
+
+
+class TestBaselines:
+    def test_random_noise_injector(self, injector, amd_catalog):
+        baseline = RandomNoiseInjector(injector, bound=1e5, rng=0)
+        matrix = np.zeros((50, NUM_SIGNALS))
+        out = baseline.obfuscate_matrix(matrix, 0.001)
+        added = out[:, Signal.UOPS]
+        assert added.max() <= 1e5 + 128
+        assert added.std() > 0
+
+    def test_secret_tied_noise_is_constant_per_secret(self, injector):
+        tied = SecretTiedNoise(injector, scale=1e5)
+        matrix = np.zeros((20, NUM_SIGNALS))
+        a1 = tied.obfuscate_matrix_for_secret(matrix, "google.com")
+        a2 = tied.obfuscate_matrix_for_secret(matrix, "google.com")
+        b = tied.obfuscate_matrix_for_secret(matrix, "youtube.com")
+        assert np.allclose(a1, a2)
+        assert not np.allclose(a1, b)
+
+    def test_validation(self, injector):
+        with pytest.raises(ValueError):
+            RandomNoiseInjector(injector, bound=-1.0)
+        with pytest.raises(ValueError):
+            SecretTiedNoise(injector, scale=-1.0)

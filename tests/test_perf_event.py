@@ -1,0 +1,101 @@
+"""Tests for the perf_event_open-style host monitor."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.signals import Signal, zero_signals
+from repro.vm.perf_event import PerfEventAttr, PerfEventMonitor
+
+
+def _guest_signals(uops=1000.0):
+    signals = zero_signals()
+    signals[Signal.UOPS] = uops
+    return signals
+
+
+def _host_signals():
+    signals = zero_signals()
+    signals[Signal.UOPS] = 5e5
+    signals[Signal.SYSCALLS] = 1e4
+    return signals
+
+
+class TestPidFiltering:
+    def test_filter_excludes_host_activity(self, amd_catalog):
+        filtered = PerfEventMonitor(amd_catalog, ["RETIRED_UOPS"], rng=0)
+        unfiltered = PerfEventMonitor(
+            amd_catalog, ["RETIRED_UOPS"],
+            attr=PerfEventAttr(pid_filtered=False), rng=0)
+        guest, host = _guest_signals(), _host_signals()
+        a = filtered.observe_slice(guest, host)[0]
+        b = unfiltered.observe_slice(guest, host)[0]
+        assert b > 50 * a  # host uops pollute the unfiltered count
+
+    def test_filtered_counts_track_guest(self, amd_catalog):
+        monitor = PerfEventMonitor(amd_catalog, ["RETIRED_UOPS"], rng=0)
+        counts = monitor.observe_slice(_guest_signals(2000.0),
+                                       _host_signals())
+        assert counts[0] == pytest.approx(2000.0, rel=0.1)
+
+
+class TestMultiplexing:
+    def test_no_multiplexing_within_register_limit(self, amd_catalog):
+        monitor = PerfEventMonitor(
+            amd_catalog,
+            ["RETIRED_UOPS", "CPU_CYCLES", "INSTRUCTIONS", "CACHE_MISSES"],
+            rng=0)
+        assert not monitor.multiplexed
+
+    def test_multiplexing_rotates_groups(self, amd_catalog):
+        events = ["RETIRED_UOPS", "CPU_CYCLES", "INSTRUCTIONS",
+                  "CACHE_MISSES", "BRANCH_MISSES", "LS_DISPATCH"]
+        monitor = PerfEventMonitor(amd_catalog, events, num_registers=4,
+                                   rng=0)
+        assert monitor.multiplexed and monitor.num_groups == 2
+        first = monitor.observe_slice(_guest_signals())
+        second = monitor.observe_slice(_guest_signals())
+        assert np.isnan(first[4]) and not np.isnan(first[0])
+        assert np.isnan(second[0]) and not np.isnan(second[4])
+
+    def test_scaled_totals_correct_for_dead_time(self, amd_catalog):
+        events = ["RETIRED_UOPS", "CPU_CYCLES", "INSTRUCTIONS",
+                  "CACHE_MISSES", "BRANCH_MISSES", "LS_DISPATCH",
+                  "L2_CACHE_MISSES", "L1_DTLB_MISSES"]
+        monitor = PerfEventMonitor(amd_catalog, events, num_registers=4,
+                                   rng=0)
+        for _ in range(40):
+            monitor.observe_slice(_guest_signals(1000.0))
+        totals = monitor.read_totals(scaled=True)
+        raw = monitor.read_totals(scaled=False)
+        # RETIRED_UOPS ran half the time: raw ~20k, scaled ~40k.
+        assert raw[0] == pytest.approx(20_000, rel=0.15)
+        assert totals[0] == pytest.approx(40_000, rel=0.15)
+
+    def test_vectorized_trace_matches_loop_statistics(self, amd_catalog):
+        events = ["RETIRED_UOPS", "CPU_CYCLES"]
+        matrix = np.tile(_guest_signals(3000.0), (50, 1))
+        fast = PerfEventMonitor(amd_catalog, events, rng=1)
+        trace = fast.observe_trace(matrix)
+        assert trace.shape == (2, 50)
+        assert trace[0].mean() == pytest.approx(3000.0, rel=0.05)
+
+    def test_reset(self, amd_catalog):
+        monitor = PerfEventMonitor(amd_catalog, ["RETIRED_UOPS"], rng=0)
+        monitor.observe_slice(_guest_signals())
+        monitor.reset()
+        assert monitor.read_totals()[0] == 0.0
+
+
+class TestValidation:
+    def test_rejects_empty_events(self, amd_catalog):
+        with pytest.raises(ValueError):
+            PerfEventMonitor(amd_catalog, [])
+
+    def test_rejects_unknown_event(self, amd_catalog):
+        with pytest.raises(KeyError):
+            PerfEventMonitor(amd_catalog, ["NOT_AN_EVENT"])
+
+    def test_rejects_bad_duration(self, amd_catalog):
+        monitor = PerfEventMonitor(amd_catalog, ["RETIRED_UOPS"], rng=0)
+        with pytest.raises(ValueError):
+            monitor.observe_slice(_guest_signals(), duration_s=0.0)

@@ -1,0 +1,92 @@
+"""Tests for the stride prefetcher and the vCPU scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.prefetch import StridePrefetcher
+from repro.cpu.signals import Signal
+from repro.vm.scheduler import VcpuScheduler
+
+
+class TestStridePrefetcher:
+    def test_constant_stride_trains(self):
+        pf = StridePrefetcher(depth=2)
+        issued = []
+        for i in range(6):
+            issued = pf.observe(pc=0x400, address=0x1000 + 64 * i)
+        assert issued == [0x1000 + 64 * 6, 0x1000 + 64 * 7]
+        assert pf.trained > 0
+
+    def test_random_pattern_stays_quiet(self, rng):
+        pf = StridePrefetcher(depth=2)
+        total = 0
+        for _ in range(100):
+            total += len(pf.observe(0x400, int(rng.integers(0, 2**20))))
+        assert total < 10
+
+    def test_per_pc_isolation(self):
+        pf = StridePrefetcher(depth=1)
+        for i in range(5):
+            pf.observe(0x400, 0x1000 + 64 * i)
+            out = pf.observe(0x500, 0x9000 - 128 * i)
+        # The descending stream trains its own entry.
+        assert out and out[0] < 0x9000
+
+    def test_table_lru_eviction(self):
+        pf = StridePrefetcher(table_entries=2)
+        pf.observe(0x1, 0x100)
+        pf.observe(0x2, 0x200)
+        pf.observe(0x3, 0x300)  # evicts pc 0x1
+        assert len(pf._table) == 2
+        assert 0x1 not in pf._table
+
+    def test_reset(self):
+        pf = StridePrefetcher()
+        pf.observe(0x1, 0x100)
+        pf.reset()
+        assert len(pf._table) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=0)
+        with pytest.raises(ValueError):
+            StridePrefetcher(depth=0)
+
+
+class TestVcpuScheduler:
+    def test_pinning_blocks_migration(self):
+        sched = VcpuScheduler(rng=0)
+        sched.pin(0, physical_core=3)
+        assert sched.migrate(0, physical_core=5) is False
+        assert sched.state(0).physical_core == 3
+        assert sched.migrate(1, physical_core=5) is True
+
+    def test_world_switches_perturb_tlbs(self):
+        sched = VcpuScheduler(exit_rate_hz=5000, contention=0.0, rng=0)
+        signals = sched.run_slice(0, duration_s=0.1)
+        assert signals[Signal.TLB_FLUSHES] > 0
+        assert signals[Signal.DTLB_MISS] > signals[Signal.TLB_FLUSHES]
+        assert sched.state(0).world_switches > 0
+
+    def test_contention_produces_steal_time(self):
+        sched = VcpuScheduler(contention=1.0, exit_rate_hz=0.0, rng=0)
+        for _ in range(50):
+            sched.run_slice(0, duration_s=0.01)
+        assert sched.state(0).steal_fraction > 0.02
+
+    def test_no_contention_no_steal(self):
+        sched = VcpuScheduler(contention=0.0, exit_rate_hz=0.0, rng=0)
+        sched.run_slice(0, duration_s=0.01)
+        assert sched.state(0).steal_fraction == 0.0
+        assert sched.state(0).run_time_s == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VcpuScheduler(num_vcpus=0)
+        with pytest.raises(ValueError):
+            VcpuScheduler(contention=1.5)
+        sched = VcpuScheduler(rng=0)
+        with pytest.raises(IndexError):
+            sched.state(99)
+        with pytest.raises(ValueError):
+            sched.run_slice(0, duration_s=0.0)

@@ -1,0 +1,67 @@
+"""Tests for privacy-budget composition accounting."""
+
+import math
+
+import pytest
+
+from repro.core.obfuscator.budget import (
+    PrivacyAccountant,
+    advanced_composition,
+    sequential_composition,
+)
+
+
+class TestComposition:
+    def test_sequential_is_linear(self):
+        assert sequential_composition(0.1, 10) == pytest.approx(1.0)
+
+    def test_advanced_beats_basic_for_small_eps_large_t(self):
+        eps, t = 0.001, 100_000
+        assert advanced_composition(eps, t) < sequential_composition(eps, t)
+
+    def test_basic_beats_advanced_for_few_releases(self):
+        eps, t = 0.5, 2
+        assert sequential_composition(eps, t) < advanced_composition(eps, t)
+
+    def test_advanced_formula(self):
+        eps, t, delta = 0.01, 1000, 1e-6
+        expected = (math.sqrt(2 * t * math.log(1 / delta)) * eps
+                    + t * eps * (math.exp(eps) - 1))
+        assert advanced_composition(eps, t, delta) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_composition(0.0, 5)
+        with pytest.raises(ValueError):
+            sequential_composition(0.1, 0)
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 5, delta=2.0)
+
+
+class TestAccountant:
+    def test_accumulates(self):
+        accountant = PrivacyAccountant(per_slice_epsilon=0.01)
+        accountant.record(300)
+        accountant.record(2700)
+        assert accountant.releases == 3000
+        assert accountant.basic_epsilon == pytest.approx(30.0)
+        assert accountant.advanced_epsilon > 0
+
+    def test_statement_picks_tighter_bound(self):
+        accountant = PrivacyAccountant(per_slice_epsilon=1e-4)
+        accountant.record(100_000)
+        text = accountant.statement()
+        assert "advanced" in text
+        assert "-DP" in text
+
+    def test_empty_statement(self):
+        accountant = PrivacyAccountant(per_slice_epsilon=0.1)
+        assert "untouched" in accountant.statement()
+        assert accountant.basic_epsilon == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(per_slice_epsilon=0.0)
+        accountant = PrivacyAccountant(per_slice_epsilon=0.1)
+        with pytest.raises(ValueError):
+            accountant.record(0)

@@ -1,0 +1,98 @@
+"""Tests for warm-up profiling and the vulnerability ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import ApplicationProfiler, WarmupProfiler
+from repro.core.profiler.ranking import VulnerabilityRanker
+from repro.cpu.events import EventType, processor_catalog
+from repro.workloads import WebsiteWorkload
+
+
+@pytest.fixture(scope="module")
+def website_profile():
+    workload = WebsiteWorkload()
+    profiler = ApplicationProfiler(workload, runs_per_secret=6,
+                                   window_s=1.0, slice_s=0.02, rng=7)
+    return profiler.profile(secrets=workload.secrets[:8])
+
+
+class TestWarmup:
+    def test_compacts_to_under_15_percent(self, website_profile):
+        warmup = website_profile.warmup
+        assert warmup.total_events == 1903
+        assert warmup.surviving_fraction < 0.15
+
+    def test_software_and_other_events_removed(self, website_profile):
+        shares = website_profile.warmup.remaining_share_by_type()
+        assert shares[EventType.SOFTWARE] == 0.0
+        assert shares[EventType.OTHER] == 0.0
+        assert shares[EventType.HW_CACHE] > 0.9
+        assert shares[EventType.TRACEPOINT] < 0.05
+
+    def test_cost_formula(self, website_profile):
+        # T_W = (M * t_w * 2) / C with M=1903, t_w=1, C=4.
+        assert website_profile.warmup.simulated_seconds == pytest.approx(
+            1903 * 1.0 * 2 / 4)
+
+    def test_repetition_validation(self, amd_catalog):
+        with pytest.raises(ValueError):
+            WarmupProfiler(amd_catalog, WebsiteWorkload(), repetitions=0)
+
+
+class TestRanking:
+    def test_mi_within_entropy_bound(self, website_profile):
+        ranking = website_profile.ranking
+        assert np.all(ranking.mutual_information_bits >= 0)
+        assert np.all(ranking.mutual_information_bits
+                      <= ranking.secret_entropy_bits + 1e-9)
+
+    def test_top_events_are_sorted(self, website_profile):
+        mi = website_profile.ranking.sorted_mi()
+        assert np.all(np.diff(mi) <= 1e-12)
+
+    def test_attack_relevant_events_rank_high(self, website_profile):
+        # The events the paper's attacks monitor must be flagged as
+        # vulnerable; at least one must land in the top half (websites
+        # modulate load/store mixes most, so LS_DISPATCH ranks highest).
+        ranking = website_profile.ranking
+        top_half = {name for name, _ in
+                    ranking.top(len(ranking.event_names) // 2)}
+        monitored = {"RETIRED_UOPS", "LS_DISPATCH",
+                     "MAB_ALLOCATION_BY_PIPE",
+                     "DATA_CACHE_REFILLS_FROM_SYSTEM"}
+        assert monitored & top_half
+        assert set(ranking.event_names) >= monitored
+
+    def test_vulnerable_indices_threshold(self, website_profile):
+        ranking = website_profile.ranking
+        all_idx = ranking.vulnerable_indices(0.0)
+        strict = ranking.vulnerable_indices(1.0)
+        assert len(strict) <= len(all_idx)
+
+    def test_cost_formula(self, website_profile):
+        ranking = website_profile.ranking
+        n = len(ranking.event_indices)
+        assert ranking.simulated_seconds == pytest.approx(
+            n * 8 * 6 * 1.0 / 4)
+
+    def test_rejects_empty_events(self, amd_catalog):
+        ranker = VulnerabilityRanker(amd_catalog, WebsiteWorkload(),
+                                     runs_per_secret=2, rng=0)
+        with pytest.raises(ValueError):
+            ranker.rank(np.array([], dtype=int))
+
+    def test_rejects_single_run(self, amd_catalog):
+        with pytest.raises(ValueError):
+            VulnerabilityRanker(amd_catalog, WebsiteWorkload(),
+                                runs_per_secret=1)
+
+
+class TestProfilerReport:
+    def test_total_hours_positive(self, website_profile):
+        assert website_profile.total_simulated_hours > 0
+
+    def test_top_events_names(self, website_profile):
+        top = website_profile.top_events(4)
+        assert len(top) == 4
+        assert all(isinstance(name, str) for name in top)

@@ -1,0 +1,110 @@
+"""Tests for Gaussian modelling, mutual information and PCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler.gaussian import (
+    GaussianClassModel,
+    entropy,
+    fit_class_gaussians,
+    mutual_information,
+)
+from repro.core.profiler.pca import (
+    explained_variance_ratio,
+    first_principal_component,
+)
+
+
+class TestGaussianModel:
+    def test_fit_recovers_moments(self, rng):
+        values = np.concatenate([rng.normal(0, 1, 500),
+                                 rng.normal(10, 2, 500)])
+        labels = np.repeat([0, 1], 500)
+        model = fit_class_gaussians(values, labels)
+        assert model.means == pytest.approx([0, 10], abs=0.3)
+        assert model.stds == pytest.approx([1, 2], abs=0.3)
+        assert model.priors == pytest.approx([0.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianClassModel(means=np.array([0.0]), stds=np.array([0.0]),
+                               priors=np.array([1.0]))
+        with pytest.raises(ValueError):
+            GaussianClassModel(means=np.array([0.0]), stds=np.array([1.0]),
+                               priors=np.array([0.7]))
+
+
+class TestMutualInformation:
+    def test_separated_classes_give_full_entropy(self):
+        model = GaussianClassModel(means=np.array([0.0, 100.0]),
+                                   stds=np.array([1.0, 1.0]),
+                                   priors=np.array([0.5, 0.5]))
+        assert mutual_information(model) == pytest.approx(1.0, abs=1e-3)
+
+    def test_identical_classes_give_zero(self):
+        model = GaussianClassModel(means=np.array([5.0, 5.0]),
+                                   stds=np.array([2.0, 2.0]),
+                                   priors=np.array([0.5, 0.5]))
+        assert mutual_information(model) == pytest.approx(0.0, abs=1e-6)
+
+    def test_partial_overlap_in_between(self):
+        model = GaussianClassModel(means=np.array([0.0, 2.0]),
+                                   stds=np.array([1.0, 1.0]),
+                                   priors=np.array([0.5, 0.5]))
+        value = mutual_information(model)
+        assert 0.05 < value < 0.95
+
+    @given(gap=st.floats(0.0, 50.0), sigma=st.floats(0.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, gap, sigma):
+        model = GaussianClassModel(means=np.array([0.0, gap, 2 * gap + 1]),
+                                   stds=np.full(3, sigma),
+                                   priors=np.full(3, 1 / 3))
+        value = mutual_information(model)
+        assert 0.0 <= value <= entropy(model.priors) + 1e-9
+
+    def test_mi_monotone_in_separation(self):
+        values = []
+        for gap in (0.5, 1.0, 2.0, 4.0, 8.0):
+            model = GaussianClassModel(means=np.array([0.0, gap]),
+                                       stds=np.array([1.0, 1.0]),
+                                       priors=np.array([0.5, 0.5]))
+            values.append(mutual_information(model))
+        assert all(a < b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_grid_validation(self):
+        model = GaussianClassModel(means=np.array([0.0, 1.0]),
+                                   stds=np.array([1.0, 1.0]),
+                                   priors=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            mutual_information(model, grid_points=4)
+
+
+class TestPca:
+    def test_finds_dominant_direction(self, rng):
+        direction = np.array([3.0, 4.0]) / 5.0
+        data = rng.normal(0, 5, (200, 1)) * direction + rng.normal(
+            0, 0.1, (200, 2))
+        scores, component = first_principal_component(data)
+        assert abs(component @ direction) == pytest.approx(1.0, abs=1e-3)
+        assert scores.shape == (200,)
+
+    def test_deterministic_sign(self, rng):
+        data = rng.normal(0, 1, (50, 4))
+        _, c1 = first_principal_component(data)
+        _, c2 = first_principal_component(data)
+        assert np.allclose(c1, c2)
+
+    def test_explained_variance(self, rng):
+        direction = np.array([1.0, 0.0, 0.0])
+        data = rng.normal(0, 5, (300, 1)) * direction \
+            + rng.normal(0, 0.1, (300, 3))
+        assert explained_variance_ratio(data, 1) > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            first_principal_component(np.zeros(5))
+        with pytest.raises(ValueError):
+            first_principal_component(np.zeros((1, 5)))

@@ -1,0 +1,69 @@
+"""Tests for the noise-subspace projection attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.collector import TraceDataset
+from repro.attacks.projection import (
+    estimate_noise_directions,
+    project_out,
+    strip_noise,
+)
+
+
+def _synthetic(noise_direction, rng, n=40, e=4, t=60):
+    """Signal in channel 0 during slices 20-40, noise everywhere."""
+    traces = rng.normal(0, 0.1, (n, e, t))
+    labels = np.repeat([0, 1], n // 2)
+    signal = np.zeros(e)
+    signal[0] = 1.0
+    for i in range(n):
+        traces[i, :, 20:40] += (labels[i] + 1) * signal[:, None]
+        amplitude = np.abs(rng.normal(0, 5.0, t))
+        traces[i] += noise_direction[:, None] * amplitude[None, :]
+    idle_mask = np.zeros(t, dtype=bool)
+    idle_mask[:20] = True
+    return traces, labels, idle_mask
+
+
+class TestEstimation:
+    def test_recovers_direction(self, rng):
+        direction = np.array([0.0, 0.6, 0.0, 0.8])
+        traces, _, idle = _synthetic(direction, rng)
+        estimated = estimate_noise_directions(traces, idle)
+        assert abs(estimated[0] @ direction) > 0.99
+
+    def test_validation(self, rng):
+        traces = rng.normal(0, 1, (4, 4, 10))
+        with pytest.raises(ValueError):
+            estimate_noise_directions(traces, np.zeros(9, dtype=bool))
+        with pytest.raises(ValueError):
+            estimate_noise_directions(traces, np.zeros(10, dtype=bool),
+                                      num_directions=4)
+
+
+class TestProjection:
+    def test_strips_fixed_direction_noise(self, rng):
+        direction = np.array([0.0, 0.6, 0.0, 0.8])
+        traces, labels, idle = _synthetic(direction, rng)
+        dataset = TraceDataset(traces=traces, labels=labels,
+                               secrets=[0, 1], event_names=list("abcd"))
+        cleaned = strip_noise(dataset, idle)
+        # Noise channels are quiet again...
+        noisy_power = np.abs(traces[:, 3, :20]).mean()
+        cleaned_power = np.abs(cleaned.traces[:, 3, :20]).mean()
+        assert cleaned_power < 0.1 * noisy_power
+        # ...while the signal channel survives.
+        signal = cleaned.traces[labels == 1, 0, 20:40].mean()
+        assert signal > 1.5
+
+    def test_projection_is_idempotent(self, rng):
+        direction = np.array([1.0, 0.0, 0.0, 0.0])
+        traces = rng.normal(0, 1, (3, 4, 8))
+        once = project_out(traces, direction)
+        twice = project_out(once, direction)
+        assert np.allclose(once, twice)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            project_out(rng.normal(0, 1, (2, 4, 5)), np.ones(3))

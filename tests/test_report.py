@@ -1,0 +1,56 @@
+"""Tests for the deployment report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import deployment_report
+from repro.core.artifacts import DeploymentArtifact
+from repro.core.obfuscator.injector import default_noise_components
+
+
+@pytest.fixture()
+def artifact():
+    return DeploymentArtifact(
+        processor_model="amd-epyc-7252",
+        vulnerable_events=[f"EVENT_{i}" for i in range(20)],
+        mutual_information_bits=list(np.linspace(2.0, 0.1, 20)),
+        covering_gadgets=[f"[g{i}]" for i in range(20)],
+        segment_signals=default_noise_components(),
+        reference_event="RETIRED_UOPS",
+        sensitivity=5e6,
+        mechanism="laplace",
+        epsilon=0.5,
+        clip_bound=np.inf,
+    )
+
+
+class TestReport:
+    def test_contains_all_sections(self, artifact):
+        text = deployment_report(artifact)
+        for heading in ("# Aegis deployment report", "## Vulnerable events",
+                        "## Covering gadget set", "## Injection profile",
+                        "## Privacy budget"):
+            assert heading in text
+
+    def test_laplace_composition_statement(self, artifact):
+        text = deployment_report(artifact, window_slices=3000)
+        assert "composed over 3000 slices" in text
+        assert "-DP" in text
+
+    def test_dstar_statement(self, artifact):
+        artifact.mechanism = "dstar"
+        text = deployment_report(artifact)
+        assert "(d*, 1)-privacy" in text
+
+    def test_gadget_list_truncated(self, artifact):
+        text = deployment_report(artifact)
+        assert "... and 5 more" in text
+
+    def test_top_events_ranked(self, artifact):
+        text = deployment_report(artifact, top_events=3)
+        assert "EVENT_0" in text  # highest MI
+        assert "EVENT_19" not in text.split("## Covering")[0]
+
+    def test_validation(self, artifact):
+        with pytest.raises(ValueError):
+            deployment_report(artifact, window_slices=0)

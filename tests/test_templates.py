@@ -1,0 +1,68 @@
+"""Tests for the Gaussian template classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import TraceCollector
+from repro.ml.templates import (
+    NearestTemplateClassifier,
+    PooledGaussianTemplateClassifier,
+)
+from repro.workloads import WebsiteWorkload
+
+
+class TestNearestTemplate:
+    def test_separable_blobs(self, rng):
+        x = np.vstack([rng.normal(i * 3, 0.5, (30, 6)) for i in range(3)])
+        y = np.repeat(np.arange(3), 30)
+        clf = NearestTemplateClassifier().fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            NearestTemplateClassifier().predict(rng.normal(0, 1, (2, 4)))
+
+    def test_alignment_validation(self, rng):
+        with pytest.raises(ValueError):
+            NearestTemplateClassifier().fit(rng.normal(0, 1, (4, 3)),
+                                            np.zeros(3))
+
+    def test_handles_nd_traces(self, rng):
+        x = rng.normal(0, 1, (20, 4, 10))
+        x[10:, 0, :] += 5.0
+        y = np.repeat([0, 1], 10)
+        clf = NearestTemplateClassifier().fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+
+class TestPooledGaussian:
+    def test_variance_weighting_beats_plain_mean(self, rng):
+        # Channel 0 carries signal with low noise; channel 1 is a
+        # high-variance nuisance that dominates Euclidean distance.
+        n = 200
+        y = rng.integers(0, 2, n)
+        x = np.empty((n, 2))
+        x[:, 0] = y * 1.0 + rng.normal(0, 0.3, n)
+        x[:, 1] = rng.normal(0, 50.0, n)
+        plain = NearestTemplateClassifier().fit(x[:100], y[:100])
+        pooled = PooledGaussianTemplateClassifier().fit(x[:100], y[:100])
+        assert pooled.score(x[100:], y[100:]) \
+            >= plain.score(x[100:], y[100:])
+        assert pooled.score(x[100:], y[100:]) > 0.85
+
+    def test_var_floor_validation(self):
+        with pytest.raises(ValueError):
+            PooledGaussianTemplateClassifier(var_floor=0.0)
+
+    def test_template_attack_on_hpc_traces(self):
+        # The classic baseline classifies our website traces with far
+        # less data than the CNN needs.
+        workload = WebsiteWorkload()
+        sites = workload.secrets[:6]
+        collector = TraceCollector(workload, duration_s=3.0,
+                                   slice_s=0.02, rng=9)
+        dataset = collector.collect(10, secrets=sites)
+        train, test = dataset.split(0.7, rng=0)
+        clf = PooledGaussianTemplateClassifier().fit(train.traces,
+                                                     train.labels)
+        assert clf.score(test.traces, test.labels) > 0.7

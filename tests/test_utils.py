@@ -1,0 +1,78 @@
+"""Tests for repro.utils: RNG handling, clock, validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import SimClock, ensure_rng, require, spawn_rng
+
+
+class TestEnsureRng:
+    def test_accepts_seed(self):
+        gen = ensure_rng(7)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_passes_through_generator(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_children_are_independent_objects(self):
+        children = spawn_rng(np.random.default_rng(0), 3)
+        assert len(children) == 3
+        assert len({id(c) for c in children}) == 3
+
+    def test_children_deterministic(self):
+        a = spawn_rng(np.random.default_rng(0), 2)
+        b = spawn_rng(np.random.default_rng(0), 2)
+        assert np.allclose(a[0].random(4), b[0].random(4))
+        assert np.allclose(a[1].random(4), b[1].random(4))
+
+    def test_children_streams_differ(self):
+        a, b = spawn_rng(np.random.default_rng(0), 2)
+        assert not np.allclose(a.random(8), b.random(8))
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            spawn_rng(np.random.default_rng(0), 0)
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock(frequency_hz=1e9)
+        clock.advance(500)
+        clock.advance(500)
+        assert clock.cycles == 1000
+        assert clock.seconds == pytest.approx(1e-6)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.cycles == 0
+
+    def test_rejects_negative_advance(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            SimClock(frequency_hz=0)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")

@@ -1,0 +1,96 @@
+"""Tests for the SEV guest / hypervisor boundary."""
+
+import numpy as np
+import pytest
+
+from repro.vm import Hypervisor, SevPolicy, SevVersion
+from repro.vm.hypervisor import GuestMemoryProtectedError
+from repro.vm.sev import MemoryEncryptionEngine, launch_measurement
+
+
+class TestSevModel:
+    def test_encryption_round_trip(self):
+        engine = MemoryEncryptionEngine(b"k" * 32)
+        plaintext = b"secret model weights"
+        ciphertext = engine.encrypt(0x1000, plaintext)
+        assert ciphertext != plaintext
+        assert engine.decrypt(0x1000, ciphertext) == plaintext
+
+    def test_address_tweak(self):
+        engine = MemoryEncryptionEngine(b"k" * 32)
+        assert engine.encrypt(0x1000, b"data") != engine.encrypt(0x2000,
+                                                                 b"data")
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryEncryptionEngine(b"short")
+
+    def test_policy_versions(self):
+        assert not SevPolicy(version=SevVersion.SEV).registers_encrypted
+        assert SevPolicy(version=SevVersion.SEV_ES).registers_encrypted
+        assert SevPolicy(version=SevVersion.SEV_SNP).memory_integrity
+
+
+class TestHypervisorBoundary:
+    def test_launch_and_attest(self):
+        hv = Hypervisor(rng=0)
+        guest = hv.launch_guest("victim")
+        report = hv.attest("victim")
+        assert report.processor_model == "amd-epyc-7252"
+        expected = launch_measurement("victim", "amd-epyc-7252", guest.policy)
+        assert report.verify(expected)
+
+    def test_duplicate_guest_rejected(self):
+        hv = Hypervisor(rng=0)
+        hv.launch_guest("victim")
+        with pytest.raises(ValueError):
+            hv.launch_guest("victim")
+
+    def test_memory_reads_blocked(self):
+        hv = Hypervisor(rng=0)
+        guest = hv.launch_guest("victim")
+        guest.write_memory(0x1000, b"secret")
+        with pytest.raises(GuestMemoryProtectedError):
+            hv.read_guest_memory("victim", 0x1000)
+        ciphertext = hv.read_guest_memory_ciphertext("victim", 0x1000)
+        assert ciphertext != b"secret"
+        assert guest.read_memory(0x1000) == b"secret"
+
+    def test_register_reads_blocked_with_es(self):
+        hv = Hypervisor(rng=0)
+        hv.launch_guest("victim")  # SEV-SNP default
+        with pytest.raises(GuestMemoryProtectedError):
+            hv.read_guest_registers("victim", 0)
+
+    def test_hpc_side_channel_open(self):
+        # The leak the paper is about: HPCs remain host-readable.
+        hv = Hypervisor(rng=0)
+        guest = hv.launch_guest("victim")
+        hv.program_vcpu_hpc("victim", 0, 0, "RETIRED_UOPS")
+        from repro.cpu.core import ActivityBlock
+        from repro.cpu.signals import Signal, zero_signals
+        signals = zero_signals()
+        signals[Signal.UOPS] = 7777.0
+        guest.vcpus[0].run_slice(ActivityBlock(signals=signals), noisy=False)
+        assert hv.read_vcpu_hpc("victim", 0, 0) == 7777
+
+    def test_process_pinning(self):
+        hv = Hypervisor(rng=0)
+        guest = hv.launch_guest("victim")
+        app = guest.spawn_process("app", vcpu_index=1)
+        obf = guest.spawn_process("obfuscator", vcpu_index=1)
+        names = {p.name for p in guest.processes_on_vcpu(1)}
+        assert names == {"app", "obfuscator"}
+        assert guest.process(app.pid).name == "app"
+
+    def test_unknown_guest_rejected(self):
+        hv = Hypervisor(rng=0)
+        with pytest.raises(KeyError):
+            hv.attest("ghost")
+
+    def test_host_background_signals_positive(self):
+        hv = Hypervisor(rng=0)
+        signals = hv.host_background_signals(1.0)
+        assert signals.sum() > 0
+        with pytest.raises(ValueError):
+            hv.host_background_signals(-1.0)
