@@ -42,6 +42,47 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="processor model (default amd-epyc-7252)")
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for shard screening "
+                             "(default 1; results are identical for "
+                             "any worker count)")
+    parser.add_argument("--shard-size", type=_positive_int, default=None,
+                        help="gadgets per screening shard (default "
+                             f"{_default_shard_size()})")
+    parser.add_argument("--checkpoint-dir", default="",
+                        help="directory for per-shard JSON checkpoints")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint-dir instead of "
+                             "re-screening completed shards")
+
+
+def _default_shard_size() -> int:
+    from repro.core.fuzzer.campaign import DEFAULT_SHARD_SIZE
+    return DEFAULT_SHARD_SIZE
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    """Validated campaign options shared by ``fuzz`` and ``deploy``."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return {"workers": args.workers,
+            "checkpoint_dir": args.checkpoint_dir or None,
+            "resume": args.resume}
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run the Application Profiler and print the event ranking."""
     from repro.core.profiler import ApplicationProfiler
@@ -65,15 +106,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run an Event Fuzzer campaign and print the summary."""
-    from repro.core.fuzzer import EventFuzzer
+    from repro.core.fuzzer import DEFAULT_SHARD_SIZE, EventFuzzer, FuzzingCampaign
     from repro.cpu.events import processor_catalog
+    campaign_kwargs = _campaign_kwargs(args)
     catalog = processor_catalog(args.processor)
     events = np.flatnonzero(catalog.guest_sensitive)
     if args.events:
         events = events[:args.events]
     fuzzer = EventFuzzer(processor_model=args.processor,
-                         gadget_budget=args.budget, rng=args.seed)
-    report = fuzzer.fuzz(events)
+                         gadget_budget=args.budget,
+                         shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+                         rng=args.seed)
+    campaign = FuzzingCampaign(fuzzer, **campaign_kwargs)
+    report = campaign.run(events)
+    cstats = campaign.stats
+    print(f"campaign: {cstats.num_shards} shards "
+          f"({cstats.resumed_shards} resumed, "
+          f"{cstats.screened_shards} screened) on {cstats.workers} worker(s)")
     print(f"cleanup: {len(report.cleanup.legal)} of "
           f"{report.cleanup.total_variants} variants legal "
           f"({report.cleanup.legal_fraction:.1%})")
@@ -94,12 +143,14 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     """Run the full offline pipeline and save the deployment artifact."""
     from repro.core import Aegis
     from repro.core.artifacts import DeploymentArtifact
+    campaign_kwargs = _campaign_kwargs(args)
     workload = _build_workload(args.workload)
     secrets = workload.secrets[:args.secrets] if args.secrets else None
     aegis = Aegis(workload, processor_model=args.processor,
                   mechanism=args.mechanism, epsilon=args.epsilon,
                   runs_per_secret=args.runs, gadget_budget=args.budget,
-                  rng=args.seed)
+                  shard_size=args.shard_size, rng=args.seed,
+                  **campaign_kwargs)
     deployment = aegis.deploy(secrets=secrets)
     artifact = DeploymentArtifact.from_deployment(deployment)
     artifact.save(args.output)
@@ -209,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gadget pairs to sample")
     p.add_argument("--events", type=int, default=0,
                    help="limit fuzzed events (0 = all guest-sensitive)")
+    _add_campaign_options(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("deploy",
@@ -223,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=6)
     p.add_argument("--budget", type=int, default=1000)
     p.add_argument("-o", "--output", default="aegis-artifact.json")
+    _add_campaign_options(p)
     p.set_defaults(func=cmd_deploy)
 
     p = sub.add_parser("attack", help="mount a case-study attack")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.fuzzer.campaign import FuzzingCampaign
 from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
 from repro.core.fuzzer.generator import ExecutionHarness
 from repro.core.obfuscator.obfuscator import EventObfuscator, estimate_sensitivity
@@ -50,13 +51,20 @@ class Aegis:
         Cloud host processor family (from the attestation report).
     mechanism / epsilon:
         Online DP mechanism and privacy budget.
+    workers / shard_size / checkpoint_dir / resume:
+        Fuzzing-campaign execution knobs, forwarded to
+        :class:`FuzzingCampaign`. They change how the screening budget
+        is scheduled (parallel workers, checkpoint artifacts), never
+        the resulting covering set for a fixed seed.
     """
 
     def __init__(self, workload: Workload,
                  processor_model: str = "amd-epyc-7252",
                  mechanism: str = "laplace", epsilon: float = 1.0,
                  runs_per_secret: int = 10, gadget_budget: int = 1500,
-                 mi_threshold_bits: float = 0.1,
+                 mi_threshold_bits: float = 0.1, workers: int = 1,
+                 shard_size: int | None = None,
+                 checkpoint_dir: str | None = None, resume: bool = False,
                  rng: "int | np.random.Generator | None" = None) -> None:
         root = ensure_rng(rng)
         self._prof_rng, self._fuzz_rng, self._obf_rng, self._sens_rng = \
@@ -68,6 +76,10 @@ class Aegis:
         self.runs_per_secret = runs_per_secret
         self.gadget_budget = gadget_budget
         self.mi_threshold_bits = mi_threshold_bits
+        self.workers = workers
+        self.shard_size = shard_size
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     # -- offline stage ---------------------------------------------------
 
@@ -79,13 +91,23 @@ class Aegis:
         return profiler.profile(secrets=secrets)
 
     def fuzz(self, profiler_report: ProfilerReport) -> FuzzingReport:
-        """Stage 2: Event Fuzzer over the vulnerable events."""
+        """Stage 2: Event Fuzzer over the vulnerable events.
+
+        Runs as a sharded campaign; ``workers``/``checkpoint_dir``/
+        ``resume`` scale it out and make it interruptible without
+        changing the covering set for a fixed seed.
+        """
         vulnerable = profiler_report.ranking.vulnerable_indices(
             self.mi_threshold_bits)
+        kwargs = {} if self.shard_size is None \
+            else {"shard_size": self.shard_size}
         fuzzer = EventFuzzer(processor_model=self.processor_model,
                              gadget_budget=self.gadget_budget,
-                             rng=self._fuzz_rng)
-        return fuzzer.fuzz(vulnerable)
+                             rng=self._fuzz_rng, **kwargs)
+        campaign = FuzzingCampaign(fuzzer, workers=self.workers,
+                                   checkpoint_dir=self.checkpoint_dir,
+                                   resume=self.resume)
+        return campaign.run(vulnerable)
 
     def _covering_segment(self, fuzzing_report: FuzzingReport) -> np.ndarray:
         """Per-gadget signal profiles of the covering set (K, SIGNALS).

@@ -17,13 +17,33 @@ from repro.core.fuzzer.filtering import (
     GadgetFilter,
     minimal_covering_set,
 )
+from repro.core.fuzzer.campaign import (
+    DEFAULT_SHARD_SIZE,
+    CampaignError,
+    CampaignStats,
+    FuzzingCampaign,
+    ShardConfig,
+    ShardResult,
+    ShardSpec,
+    critical_path_seconds,
+    gadget_stream,
+    load_shard_checkpoint,
+    merge_screened,
+    plan_shards,
+    save_shard_checkpoint,
+    screen_shard,
+)
 from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
 
 __all__ = [
+    "CampaignError",
+    "CampaignStats",
     "CleanupReport",
     "ConfirmationResult",
+    "DEFAULT_SHARD_SIZE",
     "EventFuzzer",
     "ExecutionHarness",
+    "FuzzingCampaign",
     "FuzzingReport",
     "Gadget",
     "GadgetCluster",
@@ -32,5 +52,15 @@ __all__ = [
     "GadgetGrammar",
     "InstructionCleaner",
     "MeasuredDelta",
+    "ShardConfig",
+    "ShardResult",
+    "ShardSpec",
+    "critical_path_seconds",
+    "gadget_stream",
+    "load_shard_checkpoint",
+    "merge_screened",
     "minimal_covering_set",
+    "plan_shards",
+    "save_shard_checkpoint",
+    "screen_shard",
 ]

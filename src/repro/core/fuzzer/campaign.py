@@ -1,0 +1,474 @@
+"""Sharded, resumable fuzzing campaigns.
+
+The paper's Event Fuzzer tests ~11.6M gadget pairs over hours; a
+sequential :meth:`EventFuzzer.fuzz` cannot pause, resume, or scale out.
+This module splits a gadget budget into deterministic shards and runs
+the screening stage per shard, with three guarantees:
+
+- **Partition invariance** — gadget *i*'s sampled instructions,
+  measurement noise, and microarchitectural start state depend only on
+  the campaign's root entropy and *i* (per-gadget RNG streams derived
+  via ``SeedSequence`` spawn keys, plus a state reset + deterministic
+  warm-up before each measurement). Any shard size, worker count, or
+  execution order yields bit-identical screening results.
+- **Resumability** — each completed shard is checkpointed as a JSON
+  artifact; a campaign killed mid-run resumes from the checkpoint
+  directory and produces the same report as an uninterrupted run.
+  Corrupt or stale shard files are detected via a config fingerprint
+  and transparently re-screened.
+- **Shared code path** — the sequential :meth:`EventFuzzer.fuzz` and
+  the parallel :class:`FuzzingCampaign` both drive :func:`screen_shard`
+  and :func:`merge_screened`, then hand the merged candidate pool to
+  the fuzzer's confirmation/filtering stages, so a 1-worker and an
+  N-worker campaign with the same seed produce the identical covering
+  set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
+from repro.core.fuzzer.generator import ExecutionHarness
+from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.cpu.core import Core
+from repro.isa.catalog import shared_catalog
+from repro.isa.legality import MICROARCH_PROFILES
+from repro.isa.spec import InstructionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
+
+#: Default gadgets per shard. Small enough that a default 2000-gadget
+#: budget yields several shards (parallelism, checkpoint granularity),
+#: large enough that per-shard setup stays negligible.
+DEFAULT_SHARD_SIZE = 256
+
+#: Checkpoint artifact schema version.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of the gadget budget."""
+
+    index: int
+    start: int
+    count: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs to screen a shard, in plain types.
+
+    Instances are pickled to worker processes and hashed into the
+    checkpoint fingerprint, so every field is a builtin scalar/tuple.
+    """
+
+    processor_model: str
+    microarch: str
+    entropy: int
+    unroll: int
+    sequence_length: int
+    empty_reset_prob: float
+    event_indices: tuple[int, ...]
+    thresholds: tuple[float, ...]
+
+
+@dataclass
+class ShardResult:
+    """Screening output of one shard.
+
+    ``screened`` maps event index to ``(gadget_index, delta)`` pairs in
+    ascending gadget order — the merge is a pure concatenation.
+    """
+
+    index: int
+    start: int
+    count: int
+    screened: dict[int, list[tuple[int, float]]]
+    executions: int = 0
+    elapsed_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+
+class CampaignError(ValueError):
+    """Invalid campaign configuration or unusable checkpoint state."""
+
+
+def plan_shards(budget: int, shard_size: int) -> list[ShardSpec]:
+    """Split ``budget`` gadgets into contiguous shards of ``shard_size``."""
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    shards = []
+    for index, start in enumerate(range(0, budget, shard_size)):
+        shards.append(ShardSpec(index=index, start=start,
+                                count=min(shard_size, budget - start)))
+    return shards
+
+
+def gadget_stream(entropy: int, gadget_index: int) -> np.random.Generator:
+    """The RNG stream owned by gadget ``gadget_index``.
+
+    Derived from the campaign entropy with the gadget index as a
+    ``SeedSequence`` spawn key: statistically independent across
+    gadgets, and — unlike drawing per-shard seeds from a sequential
+    stream — independent of how the budget is partitioned into shards.
+    """
+    seq = np.random.SeedSequence(entropy=entropy, spawn_key=(gadget_index,))
+    return np.random.default_rng(seq)
+
+
+# -- per-process caches ---------------------------------------------------
+#
+# Worker processes rebuild the (deterministic) catalog + cleanup once and
+# reuse them for every shard they screen. Under the default fork start
+# method on Linux they inherit the parent's already-populated cache and
+# rebuild nothing.
+
+_CLEANUP_CACHE: dict[str, CleanupReport] = {}
+
+
+def default_cleanup(microarch_name: str) -> CleanupReport:
+    """Process-cached cleanup of the shared catalog for a named profile."""
+    report = _CLEANUP_CACHE.get(microarch_name)
+    if report is None:
+        profile = MICROARCH_PROFILES[microarch_name]
+        report = InstructionCleaner(shared_catalog(), profile).run()
+        _CLEANUP_CACHE[microarch_name] = report
+    return report
+
+
+def materialize_gadget(config: ShardConfig, gadget_index: int,
+                       legal: list[InstructionSpec] | None = None) -> Gadget:
+    """Re-derive gadget ``gadget_index`` from its RNG stream.
+
+    Checkpoints store gadget *indices*, not instruction sequences; the
+    gadget is replayed from the same stream the screening stage used,
+    so a resumed campaign confirms exactly the gadgets it screened.
+    """
+    if legal is None:
+        legal = default_cleanup(config.microarch).legal
+    grammar = GadgetGrammar(legal, sequence_length=config.sequence_length,
+                            empty_reset_prob=config.empty_reset_prob, rng=0)
+    return grammar.sample(rng=gadget_stream(config.entropy, gadget_index))
+
+
+def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
+    """Screen one shard of the budget. Pure in (config, shard).
+
+    Each gadget is sampled, measured, and thresholded under its own RNG
+    stream from a reset-then-warmed core, so the result is identical no
+    matter which process runs the shard or what ran before it.
+    """
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    legal = default_cleanup(config.microarch).legal
+    core = Core(config.processor_model, rng=0)
+    harness = ExecutionHarness(core, unroll=config.unroll, rng=0)
+    grammar = GadgetGrammar(legal, sequence_length=config.sequence_length,
+                            empty_reset_prob=config.empty_reset_prob, rng=0)
+    events = np.asarray(config.event_indices, dtype=int)
+    thresholds = np.asarray(config.thresholds, dtype=float)
+    screened: dict[int, list[tuple[int, float]]] = {
+        int(e): [] for e in events}
+    for gadget_index in range(shard.start, shard.stop):
+        stream = gadget_stream(config.entropy, gadget_index)
+        gadget = grammar.sample(rng=stream)
+        core.reset_microarch_state()
+        harness.warm_measurement_state()
+        harness.set_rng(stream)
+        measured = harness.measure_gadget(gadget, events)
+        for j in np.flatnonzero(measured.deltas > thresholds):
+            screened[int(events[j])].append(
+                (gadget_index, float(measured.deltas[j])))
+    return ShardResult(index=shard.index, start=shard.start,
+                       count=shard.count, screened=screened,
+                       executions=harness.executions,
+                       elapsed_seconds=time.perf_counter() - wall,
+                       cpu_seconds=time.process_time() - cpu)
+
+
+def merge_screened(results: Iterable[ShardResult]
+                   ) -> dict[int, list[tuple[int, float]]]:
+    """Merge per-shard screening results into one candidate pool.
+
+    A pure reduction: per-event lists are concatenated and ordered by
+    gadget index, so the merge is associative, commutative, and
+    invariant to how the budget was partitioned. Duplicate shard
+    indices (e.g. a checkpoint plus a re-screened copy) collapse to one.
+    """
+    merged: dict[int, list[tuple[int, float]]] = {}
+    seen: set[int] = set()
+    for result in sorted(results, key=lambda r: r.start):
+        if result.start in seen:
+            continue
+        seen.add(result.start)
+        for event, pairs in result.screened.items():
+            merged.setdefault(int(event), []).extend(
+                (int(i), float(d)) for i, d in pairs)
+    for pairs in merged.values():
+        pairs.sort(key=lambda pair: pair[0])
+    return merged
+
+
+def critical_path_seconds(cpu_seconds: Iterable[float], workers: int) -> float:
+    """Screening makespan on ``workers`` truly parallel cores.
+
+    Longest-processing-time assignment of per-shard CPU costs — the
+    wall-clock a multi-core host would see, and the honest scaling
+    metric on CI hosts with fewer cores than workers.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    loads = [0.0] * workers
+    for cost in sorted(cpu_seconds, reverse=True):
+        loads[loads.index(min(loads))] += cost
+    return max(loads)
+
+
+# -- checkpoint artifacts -------------------------------------------------
+
+
+def config_fingerprint(config: ShardConfig, budget: int,
+                       shard_size: int) -> str:
+    """Stable digest tying checkpoints to one campaign configuration."""
+    payload = json.dumps({"config": asdict(config), "budget": budget,
+                          "shard_size": shard_size,
+                          "version": CHECKPOINT_VERSION}, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def shard_checkpoint_path(checkpoint_dir: "str | Path",
+                          shard_index: int) -> Path:
+    return Path(checkpoint_dir) / f"shard-{shard_index:05d}.json"
+
+
+def save_shard_checkpoint(checkpoint_dir: "str | Path", result: ShardResult,
+                          fingerprint: str) -> Path:
+    """Atomically persist one shard's screening result as JSON."""
+    path = shard_checkpoint_path(checkpoint_dir, result.index)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "index": result.index,
+        "start": result.start,
+        "count": result.count,
+        "executions": result.executions,
+        "elapsed_seconds": result.elapsed_seconds,
+        "cpu_seconds": result.cpu_seconds,
+        "screened": {str(event): [[i, d] for i, d in pairs]
+                     for event, pairs in result.screened.items()},
+    }
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_shard_checkpoint(checkpoint_dir: "str | Path", shard: ShardSpec,
+                          fingerprint: str) -> ShardResult | None:
+    """Load a shard checkpoint, or ``None`` if missing/corrupt/stale.
+
+    Anything unusable — unreadable file, truncated JSON, a fingerprint
+    from a different campaign configuration, mismatched shard geometry —
+    is treated as "not checkpointed": the caller simply re-screens the
+    shard, which is always safe because screening is deterministic.
+    """
+    path = shard_checkpoint_path(checkpoint_dir, shard.index)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if (payload["version"] != CHECKPOINT_VERSION
+                or payload["fingerprint"] != fingerprint
+                or payload["index"] != shard.index
+                or payload["start"] != shard.start
+                or payload["count"] != shard.count):
+            return None
+        screened = {
+            int(event): [(int(i), float(d)) for i, d in pairs]
+            for event, pairs in payload["screened"].items()}
+        return ShardResult(index=shard.index, start=shard.start,
+                           count=shard.count, screened=screened,
+                           executions=int(payload["executions"]),
+                           elapsed_seconds=float(payload["elapsed_seconds"]),
+                           cpu_seconds=float(payload["cpu_seconds"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def write_campaign_manifest(checkpoint_dir: "str | Path",
+                            config: ShardConfig, budget: int,
+                            shard_size: int, num_shards: int) -> Path:
+    """Human-readable campaign descriptor next to the shard files."""
+    path = Path(checkpoint_dir) / "campaign.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": config_fingerprint(config, budget, shard_size),
+        "budget": budget,
+        "shard_size": shard_size,
+        "num_shards": num_shards,
+        "processor_model": config.processor_model,
+        "microarch": config.microarch,
+        "entropy": config.entropy,
+        "events": list(config.event_indices),
+    }
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+# -- the campaign engine --------------------------------------------------
+
+
+@dataclass
+class CampaignStats:
+    """Bookkeeping from the most recent :meth:`FuzzingCampaign.run`."""
+
+    num_shards: int = 0
+    resumed_shards: int = 0
+    screened_shards: int = 0
+    workers: int = 1
+    shard_cpu_seconds: list[float] = field(default_factory=list)
+    screening_wall_seconds: float = 0.0
+
+    def critical_path(self, workers: int | None = None) -> float:
+        return critical_path_seconds(self.shard_cpu_seconds,
+                                     workers or self.workers)
+
+
+class FuzzingCampaign:
+    """Runs an :class:`EventFuzzer` budget as a sharded campaign.
+
+    Parameters
+    ----------
+    fuzzer:
+        The configured fuzzer whose budget, RNG streams, and
+        confirmation/filtering stages the campaign drives.
+    workers:
+        Worker processes for the screening stage. ``1`` screens shards
+        in-process; either way the report is identical for a fixed
+        fuzzer seed.
+    checkpoint_dir:
+        Directory for per-shard JSON checkpoints (created on demand).
+        ``None`` disables checkpointing.
+    resume:
+        Load valid shard checkpoints from ``checkpoint_dir`` instead of
+        re-screening them. Requires ``checkpoint_dir``.
+    shard_hook:
+        Optional callback invoked with each freshly screened
+        :class:`ShardResult` (after it is checkpointed) — progress
+        reporting in the CLI, fault injection in the crash-resume tests.
+    """
+
+    def __init__(self, fuzzer: "EventFuzzer", workers: int = 1,
+                 checkpoint_dir: "str | Path | None" = None,
+                 resume: bool = False,
+                 shard_hook: "Callable[[ShardResult], None] | None" = None
+                 ) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if resume and checkpoint_dir is None:
+            raise CampaignError("resume requires a checkpoint_dir")
+        self.fuzzer = fuzzer
+        self.workers = workers
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.resume = resume
+        self.shard_hook = shard_hook
+        self.stats = CampaignStats()
+
+    def run(self, event_indices: "np.ndarray | list[int]") -> "FuzzingReport":
+        """Screen all shards (parallel, resumable), then confirm/filter.
+
+        Completed shards are checkpointed as they finish, so an
+        interrupted run loses at most the shards in flight; resuming
+        re-screens only what is missing and yields the same report as
+        an uninterrupted campaign.
+        """
+        fuzzer = self.fuzzer
+        events = np.asarray(event_indices, dtype=int)
+        if len(events) == 0:
+            raise ValueError("event_indices must be non-empty")
+        step_seconds: dict[str, float] = {}
+
+        start = time.perf_counter()
+        cleanup = fuzzer.run_cleanup()
+        step_seconds["cleanup"] = time.perf_counter() - start
+
+        config = fuzzer.shard_config(events)
+        plan = plan_shards(fuzzer.gadget_budget, fuzzer.shard_size)
+        fingerprint = config_fingerprint(config, fuzzer.gadget_budget,
+                                         fuzzer.shard_size)
+        if self.workers > 1:
+            fuzzer.require_shardable()
+
+        start = time.perf_counter()
+        results: dict[int, ShardResult] = {}
+        if self.resume and self.checkpoint_dir is not None:
+            for shard in plan:
+                loaded = load_shard_checkpoint(self.checkpoint_dir, shard,
+                                               fingerprint)
+                if loaded is not None:
+                    results[shard.index] = loaded
+        resumed = len(results)
+        pending = [shard for shard in plan if shard.index not in results]
+        if self.checkpoint_dir is not None:
+            write_campaign_manifest(self.checkpoint_dir, config,
+                                    fuzzer.gadget_budget, fuzzer.shard_size,
+                                    len(plan))
+
+        if self.workers == 1 or len(pending) <= 1:
+            for shard in pending:
+                self._complete(screen_shard(config, shard), fingerprint,
+                               results)
+        else:
+            workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(screen_shard, config, shard)
+                           for shard in pending}
+                try:
+                    while futures:
+                        done, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
+                        for future in done:
+                            self._complete(future.result(), fingerprint,
+                                           results)
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+        step_seconds["generation_execution"] = time.perf_counter() - start
+
+        self.stats = CampaignStats(
+            num_shards=len(plan), resumed_shards=resumed,
+            screened_shards=len(plan) - resumed, workers=self.workers,
+            shard_cpu_seconds=[results[s.index].cpu_seconds for s in plan],
+            screening_wall_seconds=step_seconds["generation_execution"])
+        merged = merge_screened(results.values())
+        return fuzzer.finalize(cleanup, merged, events, step_seconds)
+
+    def _complete(self, result: ShardResult, fingerprint: str,
+                  results: dict[int, ShardResult]) -> None:
+        results[result.index] = result
+        if self.checkpoint_dir is not None:
+            save_shard_checkpoint(self.checkpoint_dir, result, fingerprint)
+        if self.shard_hook is not None:
+            self.shard_hook(result)

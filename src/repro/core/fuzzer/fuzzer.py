@@ -6,6 +6,12 @@ strongest candidates (multiple executions, repeated triggers,
 reordering), (4) filtering (clustering, best gadget, covering set).
 Per-step wall-clock times are recorded — the paper's Table III shows
 generation + execution dominating, which holds here too.
+
+The pipeline is built from shard-sized pure stages shared with
+:mod:`repro.core.fuzzer.campaign`: :meth:`EventFuzzer.fuzz` screens the
+budget shard by shard in-process, while :class:`FuzzingCampaign` screens
+the same shards across worker processes with checkpoint/resume — both
+produce identical reports for the same seed.
 """
 
 from __future__ import annotations
@@ -15,13 +21,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.fuzzer.campaign import (
+    DEFAULT_SHARD_SIZE,
+    ShardConfig,
+    default_cleanup,
+    gadget_stream,
+    merge_screened,
+    plan_shards,
+    screen_shard,
+)
 from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
 from repro.core.fuzzer.confirm import ConfirmationResult, GadgetConfirmer
 from repro.core.fuzzer.filtering import GadgetFilter, minimal_covering_set
 from repro.core.fuzzer.generator import ExecutionHarness
-from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.core.fuzzer.grammar import (
+    DEFAULT_EMPTY_RESET_PROB,
+    DEFAULT_SEQUENCE_LENGTH,
+    Gadget,
+    GadgetGrammar,
+)
 from repro.cpu.core import Core
-from repro.isa.catalog import IsaCatalog, build_catalog
+from repro.isa.catalog import IsaCatalog, shared_catalog
 from repro.isa.legality import MICROARCH_PROFILES, MicroArchProfile
 from repro.utils.rng import ensure_rng, spawn_rng
 
@@ -84,6 +104,11 @@ class EventFuzzer:
         possible while exercising the identical pipeline.
     confirm_per_event:
         How many top-screened candidates get full confirmation.
+    shard_size:
+        Gadgets per screening shard. Purely an execution granularity:
+        results are identical for every shard size (per-gadget RNG
+        streams + per-gadget state reset), so it only tunes campaign
+        parallelism and checkpoint frequency.
     """
 
     _MODEL_TO_MICROARCH = {
@@ -97,14 +122,17 @@ class EventFuzzer:
                  microarch: MicroArchProfile | None = None,
                  isa_catalog: IsaCatalog | None = None,
                  gadget_budget: int = 2000, confirm_per_event: int = 8,
-                 unroll: int = 16,
+                 unroll: int = 16, shard_size: int = DEFAULT_SHARD_SIZE,
                  rng: "int | np.random.Generator | None" = None) -> None:
         if gadget_budget < 1:
             raise ValueError(f"gadget_budget must be >= 1, got {gadget_budget}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         root = ensure_rng(rng)
         core_rng, grammar_rng, harness_rng, confirm_rng = spawn_rng(root, 4)
         self.processor_model = processor_model
-        self.isa_catalog = isa_catalog or build_catalog()
+        self.isa_catalog = (isa_catalog if isa_catalog is not None
+                            else shared_catalog())
         if microarch is None:
             name = self._MODEL_TO_MICROARCH.get(processor_model,
                                                 "amd-epyc-7252")
@@ -112,12 +140,20 @@ class EventFuzzer:
         self.microarch = microarch
         self.gadget_budget = gadget_budget
         self.confirm_per_event = confirm_per_event
+        self.shard_size = shard_size
         self.core = Core(processor_model, rng=core_rng)
         self.harness = ExecutionHarness(self.core, unroll=unroll,
                                         rng=harness_rng)
         self._grammar_rng = grammar_rng
         self.confirmer = GadgetConfirmer(self.harness, rng=confirm_rng)
         self.filter = GadgetFilter()
+        # Root entropy of the per-gadget screening streams: gadget i's
+        # sampling and measurement noise derive from (entropy, i) only,
+        # so any shard partition screens identically.
+        self._screen_entropy = int(self._grammar_rng.integers(2**63))
+        self._cleanup_report: CleanupReport | None = None
+        self._gadget_memo: dict[int, Gadget] = {}
+        self._replay_grammar: GadgetGrammar | None = None
 
     def _screen_threshold(self, event_indices: np.ndarray) -> np.ndarray:
         """Minimum hot-path delta that flags a candidate per event."""
@@ -126,34 +162,80 @@ class EventFuzzer:
                 + 0.5 * self.harness.unroll
                 * catalog.noise_rel[event_indices])
 
-    def fuzz(self, event_indices: "np.ndarray | list[int]") -> FuzzingReport:
-        """Run the four-step campaign for ``event_indices``."""
+    # -- shard-sized stages ---------------------------------------------
+
+    def require_shardable(self) -> None:
+        """Raise unless worker processes can rebuild this configuration.
+
+        Parallel campaigns re-derive the catalog + cleanup inside each
+        worker, which requires the shared default catalog and a named
+        microarchitecture profile; bespoke catalogs/profiles still work
+        sequentially.
+        """
+        if self.isa_catalog is not shared_catalog():
+            raise ValueError(
+                "parallel campaigns require the default shared ISA "
+                "catalog; custom catalogs can only run with workers=1")
+        if MICROARCH_PROFILES.get(self.microarch.name) is not self.microarch:
+            raise ValueError(
+                f"parallel campaigns require a named microarch profile, "
+                f"got a custom profile {self.microarch.name!r}")
+
+    def run_cleanup(self) -> CleanupReport:
+        """Stage 1 — instruction cleanup, cached per fuzzer."""
+        if self._cleanup_report is None:
+            if (self.isa_catalog is shared_catalog()
+                    and MICROARCH_PROFILES.get(self.microarch.name)
+                    is self.microarch):
+                self._cleanup_report = default_cleanup(self.microarch.name)
+            else:
+                cleaner = InstructionCleaner(self.isa_catalog, self.microarch)
+                self._cleanup_report = cleaner.run()
+        return self._cleanup_report
+
+    def shard_config(self, event_indices: np.ndarray) -> ShardConfig:
+        """The plain-type screening configuration workers receive."""
+        events = tuple(int(e) for e in np.asarray(event_indices, dtype=int))
+        thresholds = self._screen_threshold(np.asarray(events, dtype=int))
+        return ShardConfig(
+            processor_model=self.processor_model,
+            microarch=self.microarch.name,
+            entropy=self._screen_entropy,
+            unroll=self.harness.unroll,
+            sequence_length=DEFAULT_SEQUENCE_LENGTH,
+            empty_reset_prob=DEFAULT_EMPTY_RESET_PROB,
+            event_indices=events,
+            thresholds=tuple(float(t) for t in thresholds),
+        )
+
+    def gadget_at(self, gadget_index: int) -> Gadget:
+        """Replay gadget ``gadget_index`` of this fuzzer's budget.
+
+        Checkpoints and shard results carry gadget indices only; the
+        gadget itself is re-derived from its per-gadget RNG stream,
+        exactly as the screening stage sampled it.
+        """
+        gadget = self._gadget_memo.get(gadget_index)
+        if gadget is None:
+            if self._replay_grammar is None:
+                self._replay_grammar = GadgetGrammar(
+                    self.run_cleanup().legal, rng=0)
+            gadget = self._replay_grammar.sample(
+                rng=gadget_stream(self._screen_entropy, gadget_index))
+            self._gadget_memo[gadget_index] = gadget
+        return gadget
+
+    def finalize(self, cleanup: CleanupReport,
+                 screened: dict[int, list[tuple[int, float]]],
+                 event_indices: np.ndarray,
+                 step_seconds: dict[str, float]) -> FuzzingReport:
+        """Stages 3+4 — confirmation and filtering on the merged pool.
+
+        ``screened`` maps event index to ``(gadget_index, delta)`` pairs
+        (ascending gadget order), as produced by ``merge_screened``.
+        Runs once per campaign, after all shards are in.
+        """
         event_indices = np.asarray(event_indices, dtype=int)
-        if len(event_indices) == 0:
-            raise ValueError("event_indices must be non-empty")
-        step_seconds: dict[str, float] = {}
-
-        # Step 1: cleanup.
-        start = time.perf_counter()
-        cleaner = InstructionCleaner(self.isa_catalog, self.microarch)
-        cleanup = cleaner.run()
-        step_seconds["cleanup"] = time.perf_counter() - start
-
-        grammar = GadgetGrammar(cleanup.legal, rng=self._grammar_rng)
-
-        # Step 2: generation + execution (screening over all events).
-        start = time.perf_counter()
-        gadgets = grammar.sample_batch(self.gadget_budget)
-        thresholds = self._screen_threshold(event_indices)
-        screened: dict[int, list[tuple[float, Gadget]]] = {
-            int(e): [] for e in event_indices}
-        for gadget in gadgets:
-            measured = self.harness.measure_gadget(gadget, event_indices)
-            hits = measured.deltas > thresholds
-            for j in np.flatnonzero(hits):
-                event = int(event_indices[j])
-                screened[event].append((float(measured.deltas[j]), gadget))
-        step_seconds["generation_execution"] = time.perf_counter() - start
 
         # Step 3: confirmation per event. Candidates mix the strongest
         # screened deltas with a random sample of the remainder — pure
@@ -162,7 +244,9 @@ class EventFuzzer:
         start = time.perf_counter()
         pick_rng = ensure_rng(int(self._grammar_rng.integers(2**63)))
         confirmed: dict[int, list[ConfirmationResult]] = {}
-        for event, candidates in screened.items():
+        for event in (int(e) for e in event_indices):
+            candidates = [(delta, self.gadget_at(index))
+                          for index, delta in screened.get(event, [])]
             candidates.sort(key=lambda pair: -pair[0])
             head = candidates[:self.confirm_per_event // 2]
             tail = candidates[self.confirm_per_event // 2:]
@@ -184,14 +268,47 @@ class EventFuzzer:
         covering = minimal_covering_set(filtered)
         step_seconds["filtering"] = time.perf_counter() - start
 
+        grammar = GadgetGrammar(cleanup.legal, rng=0)
         return FuzzingReport(
             microarch=self.microarch.name,
             cleanup=cleanup,
             search_space_size=grammar.search_space_size,
-            gadgets_tested=len(gadgets),
+            gadgets_tested=self.gadget_budget,
             events_fuzzed=len(event_indices),
             step_seconds=step_seconds,
-            screened_per_event={e: len(c) for e, c in screened.items()},
+            screened_per_event={int(e): len(screened.get(int(e), []))
+                                for e in event_indices},
             confirmed_per_event=filtered,
             covering_set=covering,
         )
+
+    # -- the sequential campaign ----------------------------------------
+
+    def fuzz(self, event_indices: "np.ndarray | list[int]") -> FuzzingReport:
+        """Run the four-step campaign for ``event_indices``.
+
+        Screens the budget shard by shard through the same pure stage a
+        parallel :class:`FuzzingCampaign` distributes across processes,
+        so the report is identical to an N-worker campaign with the
+        same seed.
+        """
+        event_indices = np.asarray(event_indices, dtype=int)
+        if len(event_indices) == 0:
+            raise ValueError("event_indices must be non-empty")
+        step_seconds: dict[str, float] = {}
+
+        # Step 1: cleanup.
+        start = time.perf_counter()
+        cleanup = self.run_cleanup()
+        step_seconds["cleanup"] = time.perf_counter() - start
+
+        # Step 2: generation + execution (screening over all events).
+        start = time.perf_counter()
+        config = self.shard_config(event_indices)
+        results = [screen_shard(config, shard)
+                   for shard in plan_shards(self.gadget_budget,
+                                            self.shard_size)]
+        screened = merge_screened(results)
+        step_seconds["generation_execution"] = time.perf_counter() - start
+
+        return self.finalize(cleanup, screened, event_indices, step_seconds)

@@ -63,12 +63,38 @@ class ExecutionHarness:
         core.configure_measurement_environment()
         self.executions = 0
 
+    def set_rng(self, rng: "int | np.random.Generator | None") -> None:
+        """Replace the measurement-noise stream.
+
+        The campaign's screening stage reseeds per gadget so that each
+        gadget's noise draws depend only on (root seed, gadget index),
+        never on how the budget was sharded across workers.
+        """
+        self._rng = ensure_rng(rng)
+
+    def warm_measurement_state(self) -> None:
+        """Bring a freshly reset core to the steady measurement state.
+
+        After :meth:`Core.reset_microarch_state` every line is cold; a
+        real campaign's back-to-back measurements instead run with the
+        harness's own data/stack lines and code page resident (only a
+        gadget's explicit flushes evict them). Touching those few
+        locations deterministically reproduces that steady state without
+        executing a full throwaway measurement.
+        """
+        core = self.core
+        core.itlb.access(core.code_page.base)
+        core.dtlb.access(core.data_page.base)
+        core.caches.access(core.data_page.base, write=False)
+        core.dtlb.access(core.stack_page.base)
+        core.caches.access(core.stack_page.base, write=True)
+
     def _find_spec(self, name: str) -> InstructionSpec | None:
         # The harness helpers come from the ISA catalog when available;
         # a core without a catalog entry just skips that element.
-        from repro.isa.catalog import build_catalog
+        from repro.isa.catalog import shared_catalog
         try:
-            return build_catalog().get(name)
+            return shared_catalog().get(name)
         except KeyError:
             return None
 

@@ -17,6 +17,12 @@ import numpy as np
 from repro.isa.spec import InstructionSpec
 from repro.utils.rng import ensure_rng
 
+#: Paper defaults: one instruction per sequence, and a quarter of the
+#: gadgets get an empty reset (for trivial-S0 events). Shard configs
+#: reference these so campaign workers rebuild identical grammars.
+DEFAULT_SEQUENCE_LENGTH = 1
+DEFAULT_EMPTY_RESET_PROB = 0.25
+
 
 @dataclass(frozen=True)
 class Gadget:
@@ -66,7 +72,8 @@ class GadgetGrammar:
     """
 
     def __init__(self, instructions: list[InstructionSpec],
-                 sequence_length: int = 1, empty_reset_prob: float = 0.25,
+                 sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
+                 empty_reset_prob: float = DEFAULT_EMPTY_RESET_PROB,
                  rng: "int | np.random.Generator | None" = None) -> None:
         if not instructions:
             raise ValueError("instructions must be non-empty")
@@ -91,16 +98,23 @@ class GadgetGrammar:
         n = len(self.instructions)
         return (n ** self.sequence_length) ** 2
 
-    def _sample_sequence(self) -> tuple[InstructionSpec, ...]:
-        picks = self._rng.integers(0, len(self.instructions),
-                                   size=self.sequence_length)
+    def _sample_sequence(self, rng: np.random.Generator
+                         ) -> tuple[InstructionSpec, ...]:
+        picks = rng.integers(0, len(self.instructions),
+                             size=self.sequence_length)
         return tuple(self.instructions[int(i)] for i in picks)
 
-    def sample(self) -> Gadget:
-        """Draw one random gadget."""
-        reset = (() if self._rng.random() < self.empty_reset_prob
-                 else self._sample_sequence())
-        return Gadget(reset=reset, trigger=self._sample_sequence())
+    def sample(self, rng: "np.random.Generator | None" = None) -> Gadget:
+        """Draw one random gadget.
+
+        ``rng`` overrides the grammar's own stream for this draw —
+        sharded campaigns pass a per-gadget stream so that gadget *i*
+        is the same no matter which shard (or process) samples it.
+        """
+        gen = self._rng if rng is None else rng
+        reset = (() if gen.random() < self.empty_reset_prob
+                 else self._sample_sequence(gen))
+        return Gadget(reset=reset, trigger=self._sample_sequence(gen))
 
     def sample_batch(self, count: int) -> list[Gadget]:
         """Draw ``count`` random gadgets."""

@@ -114,6 +114,18 @@ class Cache:
             self.stats.flushes += len(ways)
             ways.clear()
 
+    def reset(self) -> None:
+        """Return the cache to power-on state (no resident lines).
+
+        Unlike :meth:`flush_all` this also zeroes the statistics, and it
+        is cheap enough to run per measurement: only non-empty sets are
+        touched, so the cost scales with occupancy, not capacity.
+        """
+        for ways in self._sets:
+            if ways:
+                ways.clear()
+        self.stats = CacheStats()
+
     @property
     def occupancy(self) -> int:
         """Number of lines currently resident."""
@@ -176,3 +188,9 @@ class CacheHierarchy:
         """Whether any level holds the line for ``address``."""
         return (self.l1.contains(address) or self.l2.contains(address)
                 or self.llc.contains(address))
+
+    def reset(self) -> None:
+        """Return every level to power-on state (lines and stats)."""
+        self.l1.reset()
+        self.l2.reset()
+        self.llc.reset()

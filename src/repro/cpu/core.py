@@ -225,6 +225,23 @@ class Core:
 
     # ----------------- measurement helpers -------------------------
 
+    def reset_microarch_state(self) -> None:
+        """Return caches/TLBs/predictor/prefetcher to power-on state.
+
+        The Event Fuzzer's screening stage measures every gadget from
+        this known state (plus a deterministic warm-up) so that a
+        gadget's screening delta is independent of whichever gadgets
+        happened to execute before it — the property that makes sharded
+        campaigns produce identical results for any shard partition.
+        """
+        self.caches.reset()
+        self.branch_predictor.reset()
+        self.itlb.reset()
+        self.dtlb.reset()
+        self.prefetcher.reset()
+        self._stack_depth = 0
+        self._last_outcome = None
+
     def configure_measurement_environment(self) -> None:
         """Apply the harness mitigations from the paper (Section VI-D):
         pin the process and isolate the core so interrupts are rare."""

@@ -48,6 +48,12 @@ class Tlb:
         self._pages.clear()
         return dropped
 
+    def reset(self) -> None:
+        """Return to power-on state: no translations, zeroed counters."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
     @property
     def occupancy(self) -> int:
         return len(self._pages)

@@ -495,3 +495,24 @@ def build_catalog(isa_name: str = "x86-sim",
     else:
         _expand_encodings(cat, target_size)
     return cat
+
+
+_SHARED_CATALOGS: dict[tuple[str, int], IsaCatalog] = {}
+
+
+def shared_catalog(isa_name: str = "x86-sim",
+                   target_size: int = DEFAULT_CATALOG_SIZE) -> IsaCatalog:
+    """Process-wide cached :func:`build_catalog` result.
+
+    Generation takes tens of milliseconds; components that only read the
+    catalog (the execution harness, fuzzing campaigns and their worker
+    processes) share one instance instead of regenerating it. Callers
+    must not mutate the returned catalog — use :func:`build_catalog` for
+    a private copy.
+    """
+    key = (isa_name, target_size)
+    catalog = _SHARED_CATALOGS.get(key)
+    if catalog is None:
+        catalog = build_catalog(isa_name, target_size)
+        _SHARED_CATALOGS[key] = catalog
+    return catalog

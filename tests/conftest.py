@@ -3,14 +3,46 @@
 import numpy as np
 import pytest
 
+from repro.core.fuzzer import EventFuzzer
 from repro.cpu.core import Core
 from repro.cpu.events import processor_catalog
-from repro.isa.catalog import build_catalog
+from repro.isa.catalog import build_catalog, shared_catalog
 
 
 @pytest.fixture(scope="session")
 def amd_catalog():
     return processor_catalog("amd-epyc-7252")
+
+
+@pytest.fixture(scope="session")
+def shared_isa():
+    """The process-wide shared ISA catalog (what campaign workers use)."""
+    return shared_catalog()
+
+
+@pytest.fixture(scope="session")
+def fuzz_events(amd_catalog):
+    """A small, diverse set of event indices for fast fuzzing runs."""
+    names = ("RETIRED_UOPS", "DATA_CACHE_REFILLS_FROM_SYSTEM",
+             "RETIRED_COND_BRANCHES", "CACHE_LINE_FLUSHES")
+    return [amd_catalog.index_of(n) for n in names]
+
+
+@pytest.fixture(scope="session")
+def make_fuzzer(shared_isa):
+    """Factory for laptop-scale fuzzers sharing the prebuilt catalog.
+
+    Defaults give a 4-shard budget so campaign tests exercise real
+    sharding while staying fast; any default can be overridden.
+    """
+    def factory(**kwargs):
+        kwargs.setdefault("isa_catalog", shared_isa)
+        kwargs.setdefault("gadget_budget", 160)
+        kwargs.setdefault("shard_size", 40)
+        kwargs.setdefault("confirm_per_event", 4)
+        kwargs.setdefault("rng", 11)
+        return EventFuzzer(**kwargs)
+    return factory
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,128 @@
+"""Property tests for the campaign merge and screening invariants.
+
+:func:`merge_screened` is the reduction the whole campaign design leans
+on: it must behave like a set union over per-gadget results —
+associative, commutative, duplicate-tolerant, and invariant to how the
+budget was partitioned into shards. Hypothesis drives those algebraic
+laws on synthetic shard results, and a smaller real-screening property
+checks the end-to-end claim on the actual harness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fuzzer import merge_screened, plan_shards, screen_shard
+from repro.core.fuzzer.campaign import ShardResult
+
+# -- synthetic pools ------------------------------------------------------
+
+deltas = st.floats(min_value=0.01, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def screened_pools(draw):
+    """A gadget budget plus ground-truth screened pairs per event."""
+    budget = draw(st.integers(min_value=1, max_value=60))
+    events = draw(st.lists(st.integers(min_value=0, max_value=40),
+                           min_size=1, max_size=4, unique=True))
+    pool = {}
+    for event in events:
+        indices = draw(st.lists(
+            st.integers(min_value=0, max_value=budget - 1),
+            unique=True, max_size=budget))
+        pool[event] = sorted(
+            (index, draw(deltas)) for index in indices)
+    return budget, pool
+
+
+def shard_results(budget, pool, shard_size):
+    """Partition a ground-truth pool into per-shard results."""
+    results = []
+    for spec in plan_shards(budget, shard_size):
+        screened = {
+            event: [(i, d) for i, d in pairs if spec.start <= i < spec.stop]
+            for event, pairs in pool.items()}
+        results.append(ShardResult(index=spec.index, start=spec.start,
+                                   count=spec.count, screened=screened))
+    return results
+
+
+def ground_truth(pool):
+    return {event: list(pairs) for event, pairs in pool.items()}
+
+
+class TestMergeAlgebra:
+    @given(data=screened_pools(),
+           size_a=st.integers(1, 60), size_b=st.integers(1, 60))
+    def test_partition_invariance(self, data, size_a, size_b):
+        """Any two shard sizes merge to the same pool."""
+        budget, pool = data
+        merged_a = merge_screened(shard_results(budget, pool, size_a))
+        merged_b = merge_screened(shard_results(budget, pool, size_b))
+        assert merged_a == merged_b == ground_truth(pool)
+
+    @given(data=screened_pools(), size=st.integers(1, 60),
+           seed=st.integers(0, 2**31))
+    def test_commutativity(self, data, size, seed):
+        """Shard completion order (worker scheduling) is irrelevant."""
+        budget, pool = data
+        results = shard_results(budget, pool, size)
+        shuffled = list(results)
+        np.random.default_rng(seed).shuffle(shuffled)
+        assert merge_screened(shuffled) == merge_screened(results)
+
+    @given(data=screened_pools(), size=st.integers(1, 60),
+           split=st.integers(0, 60))
+    def test_associativity(self, data, size, split):
+        """Merging halves then combining equals one global merge."""
+        budget, pool = data
+        results = shard_results(budget, pool, size)
+        cut = min(split, len(results))
+        head = merge_screened(results[:cut])
+        tail = merge_screened(results[cut:])
+        combined = {}
+        for part in (head, tail):
+            for event, pairs in part.items():
+                combined.setdefault(event, []).extend(pairs)
+        for pairs in combined.values():
+            pairs.sort(key=lambda pair: pair[0])
+        assert combined == merge_screened(results)
+
+    @given(data=screened_pools(), size=st.integers(1, 60),
+           dupes=st.lists(st.integers(0, 59), max_size=4))
+    def test_duplicate_shards_collapse(self, data, size, dupes):
+        """A checkpointed shard re-screened by a racing worker is one
+        shard, not two."""
+        budget, pool = data
+        results = shard_results(budget, pool, size)
+        with_dupes = results + [results[i % len(results)] for i in dupes]
+        assert merge_screened(with_dupes) == merge_screened(results)
+
+
+# -- the real pipeline ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def real_screen(make_fuzzer, fuzz_events):
+    """One 24-gadget screening pass as ground truth."""
+    budget = 24
+    fuzzer = make_fuzzer(gadget_budget=budget, shard_size=budget)
+    fuzzer.run_cleanup()
+    config = fuzzer.shard_config(np.array(fuzz_events[:2]))
+    truth = merge_screened(
+        screen_shard(config, spec) for spec in plan_shards(budget, budget))
+    return budget, config, truth
+
+
+@given(shard_size=st.integers(min_value=1, max_value=24))
+@settings(max_examples=8, deadline=None)
+def test_real_screening_partition_invariant(real_screen, shard_size):
+    """Actually screening with any shard size reproduces the pool."""
+    budget, config, truth = real_screen
+    merged = merge_screened(
+        screen_shard(config, spec)
+        for spec in plan_shards(budget, shard_size))
+    assert merged == truth

@@ -27,6 +27,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "--attack", "rowhammer"])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.workers == 1
+        assert args.shard_size is None
+        assert args.checkpoint_dir == ""
+        assert args.resume is False
+
+    def test_campaign_options_on_fuzz_and_deploy(self):
+        for sub in ("fuzz", "deploy"):
+            args = build_parser().parse_args(
+                [sub, "--workers", "4", "--shard-size", "64",
+                 "--checkpoint-dir", "ckpt", "--resume"])
+            assert args.workers == 4
+            assert args.shard_size == 64
+            assert args.checkpoint_dir == "ckpt"
+            assert args.resume is True
+
+    @pytest.mark.parametrize("flag", ["--workers", "--shard-size"])
+    @pytest.mark.parametrize("value", ["0", "-1", "2.5", "four"])
+    def test_non_positive_counts_rejected(self, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", flag, value])
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            main(["fuzz", "--budget", "32", "--events", "2", "--resume"])
+
 
 class TestCommands:
     def test_profile_runs(self, capsys):
@@ -44,6 +71,40 @@ class TestCommands:
         assert code == 0
         assert "covering set" in out
         assert "cleanup" in out
+
+    def test_fuzz_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "campaign"
+        base = ["fuzz", "--budget", "96", "--events", "2",
+                "--shard-size", "32", "--seed", "2",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "campaign: 3 shards (0 resumed, 3 screened)" in first
+        shards = sorted(p.name for p in ckpt.glob("shard-*.json"))
+        assert shards == ["shard-00000.json", "shard-00001.json",
+                          "shard-00002.json"]
+        assert (ckpt / "campaign.json").exists()
+
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "campaign: 3 shards (3 resumed, 0 screened)" in second
+        # The resumed run reports the same fuzzing outcome.
+        tail = lambda text: [line for line in text.splitlines()
+                             if "covering set" in line or "tested" in line]
+        assert tail(second) == tail(first)
+
+    def test_fuzz_resume_from_corrupt_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "campaign"
+        base = ["fuzz", "--budget", "96", "--events", "2",
+                "--shard-size", "32", "--seed", "2",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        capsys.readouterr()
+        (ckpt / "shard-00001.json").write_text("{broken", encoding="utf-8")
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 3 shards (2 resumed, 1 screened)" in out
+        assert "covering set" in out
 
     def test_deploy_then_defended_attack(self, tmp_path, capsys):
         artifact = tmp_path / "aegis.json"

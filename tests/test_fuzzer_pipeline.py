@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.fuzzer import EventFuzzer
+from repro.core.fuzzer.fuzzer import FuzzingReport
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +72,44 @@ class TestFuzzingReport:
     def test_validation(self):
         with pytest.raises(ValueError):
             EventFuzzer(gadget_budget=0)
+        with pytest.raises(ValueError):
+            EventFuzzer(shard_size=0)
         fuzzer = EventFuzzer(gadget_budget=10, rng=0)
         with pytest.raises(ValueError):
             fuzzer.fuzz(np.array([], dtype=int))
+
+
+def make_report(**overrides):
+    """A minimal FuzzingReport for edge-case accessors."""
+    fields = dict(microarch="amd-epyc-7252", cleanup=None,
+                  search_space_size=0, gadgets_tested=0, events_fuzzed=0,
+                  step_seconds={}, screened_per_event={},
+                  confirmed_per_event={})
+    fields.update(overrides)
+    return FuzzingReport(**fields)
+
+
+class TestFuzzingReportEdgeCases:
+    def test_gadget_count_stats_on_empty_report(self):
+        stats = make_report().gadget_count_stats()
+        assert stats == {"mean": 0.0, "median": 0.0, "max": 0.0}
+
+    def test_throughput_with_zero_generation_time(self):
+        report = make_report(
+            gadgets_tested=100, events_fuzzed=4,
+            step_seconds={"generation_execution": 0.0})
+        assert report.throughput_gadgets_per_second == 0.0
+
+    def test_throughput_with_missing_generation_step(self):
+        report = make_report(gadgets_tested=100, events_fuzzed=4,
+                             step_seconds={"cleanup": 1.0})
+        assert report.throughput_gadgets_per_second == 0.0
+
+    def test_most_fuzzed_event_on_empty_report_raises(self):
+        with pytest.raises(ValueError, match="no events"):
+            make_report().most_fuzzed_event()
+
+    def test_total_seconds_sums_steps(self):
+        report = make_report(step_seconds={"cleanup": 0.5,
+                                           "confirmation": 1.25})
+        assert report.total_seconds == pytest.approx(1.75)
