@@ -1,0 +1,86 @@
+"""Telemetry overhead: fuzzing throughput with tracing off vs on.
+
+The telemetry subsystem is designed to be left compiled into hot paths:
+the disabled accessors return shared no-op singletons (one function
+call and an attribute read per touch point), and the enabled path only
+adds span bookkeeping around shard-sized units of work, never per
+gadget. This bench measures the end-to-end screening throughput of one
+campaign budget in three modes — telemetry disabled (run twice, so the
+repeat delta shows the noise floor the no-op path sits inside), enabled
+in memory, and enabled with file export — and asserts the enabled
+overhead stays under 5%.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro import telemetry
+from repro.core.fuzzer import EventFuzzer, FuzzingCampaign
+from repro.cpu.events import processor_catalog
+
+BUDGET = 1024
+SHARD_SIZE = 64
+REPEATS = 3
+MAX_ENABLED_OVERHEAD = 0.05
+
+
+def _run_campaign(trace_dir=None, enabled=False):
+    """One full sequential campaign; returns wall seconds."""
+    catalog = processor_catalog("amd-epyc-7252")
+    events = np.array([catalog.index_of(n) for n in
+                       ("RETIRED_UOPS", "RETIRED_COND_BRANCHES",
+                        "DATA_CACHE_REFILLS_FROM_SYSTEM")])
+    fuzzer = EventFuzzer(gadget_budget=BUDGET, shard_size=SHARD_SIZE,
+                         confirm_per_event=4, rng=11)
+    campaign = FuzzingCampaign(fuzzer, workers=1)
+    start = time.perf_counter()
+    if enabled:
+        with telemetry.session(trace_dir=trace_dir, process="main"):
+            campaign.run(events)
+    else:
+        telemetry.disable()
+        campaign.run(events)
+    return time.perf_counter() - start
+
+
+def _best_of(fn, **kwargs):
+    """Minimum wall time over REPEATS runs (noise-robust)."""
+    return min(fn(**kwargs) for _ in range(REPEATS))
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_telemetry_overhead(benchmark, tmp_path):
+    # Warm shared caches (ISA catalog, numpy) before timing anything.
+    _run_campaign()
+
+    baseline = _best_of(_run_campaign)
+    disabled_again = _best_of(_run_campaign)
+    memory_s = _best_of(_run_campaign, enabled=True)
+    traced_s = once(benchmark, lambda: _best_of(
+        _run_campaign, enabled=True, trace_dir=tmp_path / "trace"))
+
+    noise_floor = disabled_again / baseline - 1.0
+    memory_overhead = memory_s / baseline - 1.0
+    traced_overhead = traced_s / baseline - 1.0
+    lines = [
+        f"budget {BUDGET} gadgets, shard size {SHARD_SIZE}, "
+        f"best of {REPEATS}",
+        f"{'mode':<30s} {'seconds':>8s} {'overhead':>9s}",
+        f"{'disabled (baseline)':<30s} {baseline:8.3f} {'--':>9s}",
+        f"{'disabled (repeat)':<30s} {disabled_again:8.3f} "
+        f"{noise_floor:+9.1%}",
+        f"{'enabled, in-memory':<30s} {memory_s:8.3f} "
+        f"{memory_overhead:+9.1%}",
+        f"{'enabled, spans+metrics files':<30s} {traced_s:8.3f} "
+        f"{traced_overhead:+9.1%}",
+    ]
+    emit("telemetry_overhead", "\n".join(lines))
+    assert traced_overhead < MAX_ENABLED_OVERHEAD, \
+        f"tracing overhead {traced_overhead:.1%} exceeds " \
+        f"{MAX_ENABLED_OVERHEAD:.0%}"
+    assert memory_overhead < MAX_ENABLED_OVERHEAD, \
+        f"in-memory overhead {memory_overhead:.1%} exceeds " \
+        f"{MAX_ENABLED_OVERHEAD:.0%}"

@@ -7,17 +7,35 @@ Subcommands mirror the paper's workflow::
     repro-aegis deploy --epsilon 0.5 -o aegis.json  # full offline pipeline
     repro-aegis attack --attack wfa                 # undefended attack
     repro-aegis attack --attack wfa --artifact aegis.json  # defended
+    repro-aegis deploy --workers 4 --trace-dir out/ # traced pipeline
+    repro-aegis report --trace out/                 # render the telemetry
 
-Every command accepts ``--seed`` for reproducibility and prints
-human-readable summaries to stdout.
+Every command accepts ``--seed`` for reproducibility; human-readable
+summaries go through the ``repro`` logger to stdout (``-v`` for
+shard-level progress, ``-q`` to silence summaries). ``--trace-dir``
+exports a merged span trace + metrics snapshot; ``--metrics`` logs the
+metrics snapshot after the command.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 
 import numpy as np
+
+from repro.utils.logging import configure_cli_logging
+
+# Named explicitly (not __name__) so summaries still route through the
+# "repro" logger tree when invoked as ``python -m repro.cli``.
+logger = logging.getLogger("repro.cli")
+
+
+def _say(message: str) -> None:
+    """A user-facing summary line (suppressed by ``-q``)."""
+    logger.info(message)
 
 
 def _build_workload(name: str):
@@ -35,11 +53,28 @@ def _build_workload(name: str):
         ) from exc
 
 
+def _add_logging(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug logging (shard-level progress)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress summaries; warnings only")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed (default 0)")
     parser.add_argument("--processor", default="amd-epyc-7252",
                         help="processor model (default amd-epyc-7252)")
+    _add_logging(parser)
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-dir", default="",
+                        help="directory for span traces + metrics "
+                             "snapshots (merged into trace.jsonl / "
+                             "metrics.json after the run)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="log the metrics snapshot after the command")
 
 
 def _positive_int(text: str) -> int:
@@ -83,6 +118,39 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
             "resume": args.resume}
 
 
+def _log_metrics_snapshot(snapshot: dict) -> None:
+    """Log every counter/gauge (the ``--metrics`` summary)."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if not counters and not gauges:
+        _say("metrics: nothing recorded")
+        return
+    _say("metrics snapshot:")
+    for name in sorted(counters):
+        _say(f"  {name} = {counters[name]:g}")
+    for name in sorted(gauges):
+        _say(f"  {name} = {gauges[name]:g}")
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args: argparse.Namespace):
+    """Activate telemetry for one command when its flags ask for it."""
+    trace_dir = getattr(args, "trace_dir", "") or None
+    metrics_wanted = bool(getattr(args, "metrics", False))
+    if trace_dir is None and not metrics_wanted:
+        yield
+        return
+    from repro import telemetry
+    with telemetry.session(trace_dir=trace_dir, process="main"):
+        yield
+        if metrics_wanted:
+            _log_metrics_snapshot(telemetry.metrics().snapshot())
+    if trace_dir is not None:
+        run = telemetry.merge_run(trace_dir)
+        _say(f"telemetry: {len(run.spans)} spans merged into "
+             f"{trace_dir}/trace.jsonl (+ metrics.json)")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run the Application Profiler and print the event ranking."""
     from repro.core.profiler import ApplicationProfiler
@@ -93,14 +161,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
         runs_per_secret=args.runs, rng=args.seed)
     report = profiler.profile(secrets=secrets)
     warmup = report.warmup
-    print(f"warm-up: {warmup.total_events} events -> "
-          f"{warmup.surviving_count} responsive "
-          f"({warmup.surviving_fraction:.1%})")
-    print(f"simulated profiling cost: "
-          f"{report.total_simulated_hours:.2f} hours")
-    print(f"top {args.top} vulnerable events:")
+    _say(f"warm-up: {warmup.total_events} events -> "
+         f"{warmup.surviving_count} responsive "
+         f"({warmup.surviving_fraction:.1%})")
+    _say(f"simulated profiling cost: "
+         f"{report.total_simulated_hours:.2f} hours")
+    _say(f"top {args.top} vulnerable events:")
     for name, mi in report.ranking.top(args.top):
-        print(f"  {name:<44s} I(Y;X) = {mi:.3f} bits")
+        _say(f"  {name:<44s} I(Y;X) = {mi:.3f} bits")
     return 0
 
 
@@ -120,22 +188,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     campaign = FuzzingCampaign(fuzzer, **campaign_kwargs)
     report = campaign.run(events)
     cstats = campaign.stats
-    print(f"campaign: {cstats.num_shards} shards "
-          f"({cstats.resumed_shards} resumed, "
-          f"{cstats.screened_shards} screened) on {cstats.workers} worker(s)")
-    print(f"cleanup: {len(report.cleanup.legal)} of "
-          f"{report.cleanup.total_variants} variants legal "
-          f"({report.cleanup.legal_fraction:.1%})")
-    print(f"tested {report.gadgets_tested:,} gadgets over "
-          f"{report.events_fuzzed} events "
-          f"(space: {report.search_space_size:,})")
+    _say(f"campaign: {cstats.num_shards} shards "
+         f"({cstats.resumed_shards} resumed, "
+         f"{cstats.screened_shards} screened) on {cstats.workers} worker(s)")
+    _say(f"cleanup: {len(report.cleanup.legal)} of "
+         f"{report.cleanup.total_variants} variants legal "
+         f"({report.cleanup.legal_fraction:.1%})")
+    _say(f"tested {report.gadgets_tested:,} gadgets over "
+         f"{report.events_fuzzed} events "
+         f"(space: {report.search_space_size:,})")
     for step, seconds in report.step_seconds.items():
-        print(f"  {step:<24s} {seconds:8.2f} s")
+        _say(f"  {step:<24s} {seconds:8.2f} s")
     stats = report.gadget_count_stats()
-    print(f"gadgets/event: mean {stats['mean']:.0f} "
-          f"median {stats['median']:.0f} max {stats['max']:.0f}")
-    print(f"covering set: {len(report.covering_set)} gadgets cover "
-          f"{sum(len(v) for v in report.covering_set.values())} events")
+    _say(f"gadgets/event: mean {stats['mean']:.0f} "
+         f"median {stats['median']:.0f} max {stats['max']:.0f}")
+    _say(f"covering set: {len(report.covering_set)} gadgets cover "
+         f"{sum(len(v) for v in report.covering_set.values())} events")
     return 0
 
 
@@ -154,13 +222,13 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     deployment = aegis.deploy(secrets=secrets)
     artifact = DeploymentArtifact.from_deployment(deployment)
     artifact.save(args.output)
-    print(f"profiled {len(artifact.vulnerable_events)} vulnerable events")
-    print(f"covering set: {len(artifact.covering_gadgets)} gadgets")
-    print(f"calibrated sensitivity: {artifact.sensitivity:.4g} "
-          f"counts/slice")
-    print(f"privacy guarantee: "
-          f"{deployment.obfuscator.privacy_guarantee}")
-    print(f"artifact written to {args.output}")
+    _say(f"profiled {len(artifact.vulnerable_events)} vulnerable events")
+    _say(f"covering set: {len(artifact.covering_gadgets)} gadgets")
+    _say(f"calibrated sensitivity: {artifact.sensitivity:.4g} "
+         f"counts/slice")
+    _say(f"privacy guarantee: "
+         f"{deployment.obfuscator.privacy_guarantee}")
+    _say(f"artifact written to {args.output}")
     return 0
 
 
@@ -214,23 +282,34 @@ def cmd_attack(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(f"unknown attack {args.attack!r}")
     label = "defended" if obfuscator else "undefended"
-    print(f"{args.attack.upper()} {label} accuracy: {accuracy:.3f} "
-          f"(random guess: {guess:.3f})")
+    if obfuscator is not None:
+        _say(f"privacy budget: {obfuscator.accountant.statement()}")
+    _say(f"{args.attack.upper()} {label} accuracy: {accuracy:.3f} "
+         f"(random guess: {guess:.3f})")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Render a markdown report for a deployment artifact."""
-    from repro.analysis.report import deployment_report
-    from repro.core.artifacts import DeploymentArtifact
-    artifact = DeploymentArtifact.load(args.artifact)
-    text = deployment_report(artifact, window_slices=args.window_slices)
+    """Render a deployment artifact and/or a telemetry run."""
+    if not args.artifact and not args.trace:
+        raise SystemExit("report requires --artifact and/or --trace")
+    parts = []
+    if args.artifact:
+        from repro.analysis.report import deployment_report
+        from repro.core.artifacts import DeploymentArtifact
+        artifact = DeploymentArtifact.load(args.artifact)
+        parts.append(deployment_report(
+            artifact, window_slices=args.window_slices))
+    if args.trace:
+        from repro.telemetry import render_trace_dir
+        parts.append(render_trace_dir(args.trace))
+    text = "\n".join(parts)
     if args.output:
         import pathlib
         pathlib.Path(args.output).write_text(text, encoding="utf-8")
-        print(f"report written to {args.output}")
+        _say(f"report written to {args.output}")
     else:
-        print(text)
+        _say(text)
     return 0
 
 
@@ -252,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profiling runs per secret")
     p.add_argument("--top", type=int, default=8,
                    help="vulnerable events to print")
+    _add_telemetry_options(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("fuzz", help="run an Event Fuzzer campaign")
@@ -261,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=0,
                    help="limit fuzzed events (0 = all guest-sensitive)")
     _add_campaign_options(p)
+    _add_telemetry_options(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("deploy",
@@ -276,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=1000)
     p.add_argument("-o", "--output", default="aegis-artifact.json")
     _add_campaign_options(p)
+    _add_telemetry_options(p)
     p.set_defaults(func=cmd_deploy)
 
     p = sub.add_parser("attack", help="mount a case-study attack")
@@ -294,9 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("report",
-                       help="render a deployment artifact as markdown")
-    p.add_argument("--artifact", required=True,
+                       help="render a deployment artifact and/or a "
+                            "telemetry run as markdown")
+    _add_logging(p)
+    p.add_argument("--artifact", default="",
                    help="deployment artifact JSON")
+    p.add_argument("--trace", default="",
+                   help="telemetry directory from --trace-dir; renders "
+                        "stage timings, shard balance, and the "
+                        "composed ε spent")
     p.add_argument("--window-slices", type=int, default=3000,
                    help="slices per monitoring window for the budget "
                         "composition statement")
@@ -310,7 +398,10 @@ def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_cli_logging(verbose=getattr(args, "verbose", 0),
+                          quiet=getattr(args, "quiet", False))
+    with _telemetry_scope(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.core.fuzzer.generator import ExecutionHarness
 from repro.core.obfuscator.obfuscator import EventObfuscator, estimate_sensitivity
 from repro.core.profiler.profiler import ApplicationProfiler, ProfilerReport
 from repro.cpu.signals import Signal
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.workloads.base import Workload
 
@@ -174,9 +175,14 @@ class Aegis:
 
     def deploy(self, secrets: list | None = None) -> AegisDeployment:
         """Run the whole offline pipeline; returns the deployment."""
-        profiler_report = self.profile(secrets=secrets)
-        fuzzing_report = self.fuzz(profiler_report)
-        obfuscator = self.build_obfuscator(fuzzing_report, secrets=secrets)
+        tracer = telemetry.tracer()
+        with tracer.span("aegis.profile"):
+            profiler_report = self.profile(secrets=secrets)
+        with tracer.span("aegis.fuzz"):
+            fuzzing_report = self.fuzz(profiler_report)
+        with tracer.span("aegis.obfuscate"):
+            obfuscator = self.build_obfuscator(fuzzing_report,
+                                               secrets=secrets)
         return AegisDeployment(profiler_report=profiler_report,
                                fuzzing_report=fuzzing_report,
                                obfuscator=obfuscator)

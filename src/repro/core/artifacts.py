@@ -5,6 +5,12 @@ template server; their results ship into the production VM where the
 Event Obfuscator runs. This module serializes that hand-off — the
 vulnerable-event ranking, the covering gadget set with its signal
 profile, and the obfuscator calibration — to a single JSON document.
+
+The artifact also carries the privacy accountant's state: budget spent
+by a previous deployment is restored on load instead of silently
+resetting, so ε accounting survives a crash/restart cycle
+(:meth:`DeploymentArtifact.update_budget` refreshes the carried state
+from a live obfuscator before re-saving).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.obfuscator.budget import PrivacyAccountant
 from repro.core.obfuscator.obfuscator import EventObfuscator
 from repro.cpu.signals import NUM_SIGNALS
 
@@ -35,6 +42,7 @@ class DeploymentArtifact:
     mechanism: str
     epsilon: float
     clip_bound: float
+    accountant_state: "dict | None" = None
 
     def __post_init__(self) -> None:
         self.segment_signals = np.asarray(self.segment_signals,
@@ -68,6 +76,7 @@ class DeploymentArtifact:
             "epsilon": float(self.epsilon),
             "clip_bound": (None if np.isinf(self.clip_bound)
                            else float(self.clip_bound)),
+            "accountant_state": self.accountant_state,
         }
         return json.dumps(payload, indent=2)
 
@@ -93,6 +102,7 @@ class DeploymentArtifact:
             mechanism=payload["mechanism"],
             epsilon=float(payload["epsilon"]),
             clip_bound=(np.inf if clip is None else float(clip)),
+            accountant_state=payload.get("accountant_state"),
         )
 
     def save(self, path: "str | pathlib.Path") -> None:
@@ -126,14 +136,30 @@ class DeploymentArtifact:
                        else "laplace"),
             epsilon=obfuscator.epsilon,
             clip_bound=obfuscator.injector.clip_bound,
+            accountant_state=obfuscator.accountant.to_dict(),
         )
 
     def build_obfuscator(self, rng=None) -> EventObfuscator:
-        """Instantiate the online Event Obfuscator from this artifact."""
+        """Instantiate the online Event Obfuscator from this artifact.
+
+        Budget already spent by the process that saved the artifact is
+        restored into the new obfuscator's accountant, so accounting
+        continues where it left off instead of silently resetting.
+        """
+        accountant = (PrivacyAccountant.from_dict(self.accountant_state)
+                      if self.accountant_state is not None else None)
         return EventObfuscator(
             mechanism=self.mechanism, epsilon=self.epsilon,
             sensitivity=self.sensitivity,
             reference_event=self.reference_event,
             processor_model=self.processor_model,
             segment_signals=self.segment_signals,
-            clip_bound=self.clip_bound, rng=rng)
+            clip_bound=self.clip_bound, accountant=accountant, rng=rng)
+
+    def update_budget(self, obfuscator: EventObfuscator) -> None:
+        """Refresh the carried accountant state from a live obfuscator.
+
+        Call before re-saving so the persisted artifact reflects every
+        slice released so far (checkpointing the ε budget).
+        """
+        self.accountant_state = obfuscator.accountant.to_dict()

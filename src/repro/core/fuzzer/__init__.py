@@ -32,6 +32,7 @@ from repro.core.fuzzer.campaign import (
     plan_shards,
     save_shard_checkpoint,
     screen_shard,
+    screen_shard_traced,
 )
 from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
 
@@ -63,4 +64,5 @@ __all__ = [
     "plan_shards",
     "save_shard_checkpoint",
     "screen_shard",
+    "screen_shard_traced",
 ]

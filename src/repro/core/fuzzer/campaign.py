@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -44,9 +45,12 @@ from repro.cpu.core import Core
 from repro.isa.catalog import shared_catalog
 from repro.isa.legality import MICROARCH_PROFILES
 from repro.isa.spec import InstructionSpec
+from repro.telemetry import runtime as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
+
+logger = logging.getLogger(__name__)
 
 #: Default gadgets per shard. Small enough that a default 2000-gadget
 #: budget yields several shards (parallelism, checkpoint granularity),
@@ -178,30 +182,56 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
     """
     wall = time.perf_counter()
     cpu = time.process_time()
-    legal = default_cleanup(config.microarch).legal
-    core = Core(config.processor_model, rng=0)
-    harness = ExecutionHarness(core, unroll=config.unroll, rng=0)
-    grammar = GadgetGrammar(legal, sequence_length=config.sequence_length,
-                            empty_reset_prob=config.empty_reset_prob, rng=0)
-    events = np.asarray(config.event_indices, dtype=int)
-    thresholds = np.asarray(config.thresholds, dtype=float)
-    screened: dict[int, list[tuple[int, float]]] = {
-        int(e): [] for e in events}
-    for gadget_index in range(shard.start, shard.stop):
-        stream = gadget_stream(config.entropy, gadget_index)
-        gadget = grammar.sample(rng=stream)
-        core.reset_microarch_state()
-        harness.warm_measurement_state()
-        harness.set_rng(stream)
-        measured = harness.measure_gadget(gadget, events)
-        for j in np.flatnonzero(measured.deltas > thresholds):
-            screened[int(events[j])].append(
-                (gadget_index, float(measured.deltas[j])))
+    with telemetry.tracer().span("fuzz.screen_shard", shard=shard.index,
+                                 start=shard.start, count=shard.count):
+        legal = default_cleanup(config.microarch).legal
+        core = Core(config.processor_model, rng=0)
+        harness = ExecutionHarness(core, unroll=config.unroll, rng=0)
+        grammar = GadgetGrammar(
+            legal, sequence_length=config.sequence_length,
+            empty_reset_prob=config.empty_reset_prob, rng=0)
+        events = np.asarray(config.event_indices, dtype=int)
+        thresholds = np.asarray(config.thresholds, dtype=float)
+        screened: dict[int, list[tuple[int, float]]] = {
+            int(e): [] for e in events}
+        candidates = 0
+        for gadget_index in range(shard.start, shard.stop):
+            stream = gadget_stream(config.entropy, gadget_index)
+            gadget = grammar.sample(rng=stream)
+            core.reset_microarch_state()
+            harness.warm_measurement_state()
+            harness.set_rng(stream)
+            measured = harness.measure_gadget(gadget, events)
+            for j in np.flatnonzero(measured.deltas > thresholds):
+                screened[int(events[j])].append(
+                    (gadget_index, float(measured.deltas[j])))
+                candidates += 1
+    registry = telemetry.metrics()
+    if registry.enabled:
+        registry.counter("fuzz.gadgets_screened").inc(shard.count)
+        registry.counter("fuzz.candidates").inc(candidates)
+        registry.counter("fuzz.executions").inc(harness.executions)
     return ShardResult(index=shard.index, start=shard.start,
                        count=shard.count, screened=screened,
                        executions=harness.executions,
                        elapsed_seconds=time.perf_counter() - wall,
                        cpu_seconds=time.process_time() - cpu)
+
+
+def screen_shard_traced(config: ShardConfig, shard: ShardSpec,
+                        trace_dir: "str | None" = None) -> ShardResult:
+    """Screen one shard under an isolated per-shard telemetry session.
+
+    With a ``trace_dir``, the shard's spans and metrics land in
+    ``trace-shard-NNNNN.jsonl`` / ``metrics-shard-NNNNN.json`` — the
+    same files whether the shard runs in-process or on a pool worker —
+    so the parent's deterministic merge is invariant to worker count.
+    """
+    if trace_dir is None:
+        return screen_shard(config, shard)
+    with telemetry.session(trace_dir=trace_dir,
+                           process=f"shard-{shard.index:05d}"):
+        return screen_shard(config, shard)
 
 
 def merge_screened(results: Iterable[ShardResult]
@@ -408,9 +438,13 @@ class FuzzingCampaign:
         if len(events) == 0:
             raise ValueError("event_indices must be non-empty")
         step_seconds: dict[str, float] = {}
+        tracer = telemetry.tracer()
+        trace_dir = telemetry.trace_dir()
+        shard_trace_dir = str(trace_dir) if trace_dir is not None else None
 
         start = time.perf_counter()
-        cleanup = fuzzer.run_cleanup()
+        with tracer.span("fuzz.cleanup"):
+            cleanup = fuzzer.run_cleanup()
         step_seconds["cleanup"] = time.perf_counter() - start
 
         config = fuzzer.shard_config(events)
@@ -430,32 +464,46 @@ class FuzzingCampaign:
                     results[shard.index] = loaded
         resumed = len(results)
         pending = [shard for shard in plan if shard.index not in results]
+        logger.debug("campaign: %d shards planned, %d resumed, "
+                     "%d pending on %d worker(s)", len(plan), resumed,
+                     len(pending), self.workers)
         if self.checkpoint_dir is not None:
             write_campaign_manifest(self.checkpoint_dir, config,
                                     fuzzer.gadget_budget, fuzzer.shard_size,
                                     len(plan))
 
-        if self.workers == 1 or len(pending) <= 1:
-            for shard in pending:
-                self._complete(screen_shard(config, shard), fingerprint,
-                               results)
-        else:
-            workers = min(self.workers, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(screen_shard, config, shard)
-                           for shard in pending}
-                try:
-                    while futures:
-                        done, futures = wait(futures,
-                                             return_when=FIRST_COMPLETED)
-                        for future in done:
-                            self._complete(future.result(), fingerprint,
-                                           results)
-                except BaseException:
-                    for future in futures:
-                        future.cancel()
-                    raise
+        with tracer.span("fuzz.screening", shards=len(plan),
+                         resumed=resumed):
+            if self.workers == 1 or len(pending) <= 1:
+                for shard in pending:
+                    self._complete(
+                        screen_shard_traced(config, shard, shard_trace_dir),
+                        fingerprint, results)
+            else:
+                workers = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {pool.submit(screen_shard_traced, config,
+                                           shard, shard_trace_dir)
+                               for shard in pending}
+                    try:
+                        while futures:
+                            done, futures = wait(
+                                futures, return_when=FIRST_COMPLETED)
+                            for future in done:
+                                self._complete(future.result(), fingerprint,
+                                               results)
+                    except BaseException:
+                        for future in futures:
+                            future.cancel()
+                        raise
         step_seconds["generation_execution"] = time.perf_counter() - start
+
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("campaign.shards_total").inc(len(plan))
+            registry.counter("campaign.shards_resumed").inc(resumed)
+            registry.counter("campaign.shards_screened").inc(len(pending))
+            registry.gauge("campaign.workers").set(self.workers)
 
         self.stats = CampaignStats(
             num_shards=len(plan), resumed_shards=resumed,
@@ -468,6 +516,9 @@ class FuzzingCampaign:
     def _complete(self, result: ShardResult, fingerprint: str,
                   results: dict[int, ShardResult]) -> None:
         results[result.index] = result
+        logger.debug("shard %05d screened: %d gadgets in %.3fs "
+                     "(%.3fs cpu)", result.index, result.count,
+                     result.elapsed_seconds, result.cpu_seconds)
         if self.checkpoint_dir is not None:
             save_shard_checkpoint(self.checkpoint_dir, result, fingerprint)
         if self.shard_hook is not None:

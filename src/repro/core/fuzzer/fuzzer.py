@@ -28,7 +28,7 @@ from repro.core.fuzzer.campaign import (
     gadget_stream,
     merge_screened,
     plan_shards,
-    screen_shard,
+    screen_shard_traced,
 )
 from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
 from repro.core.fuzzer.confirm import ConfirmationResult, GadgetConfirmer
@@ -43,6 +43,7 @@ from repro.core.fuzzer.grammar import (
 from repro.cpu.core import Core
 from repro.isa.catalog import IsaCatalog, shared_catalog
 from repro.isa.legality import MICROARCH_PROFILES, MicroArchProfile
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng, spawn_rng
 
 
@@ -236,37 +237,47 @@ class EventFuzzer:
         Runs once per campaign, after all shards are in.
         """
         event_indices = np.asarray(event_indices, dtype=int)
+        tracer = telemetry.tracer()
 
         # Step 3: confirmation per event. Candidates mix the strongest
         # screened deltas with a random sample of the remainder — pure
         # top-by-delta favors heavyweight resets (CPUID-sized), which
         # the lambda2 test then rejects for any-instruction events.
         start = time.perf_counter()
-        pick_rng = ensure_rng(int(self._grammar_rng.integers(2**63)))
-        confirmed: dict[int, list[ConfirmationResult]] = {}
-        for event in (int(e) for e in event_indices):
-            candidates = [(delta, self.gadget_at(index))
-                          for index, delta in screened.get(event, [])]
-            candidates.sort(key=lambda pair: -pair[0])
-            head = candidates[:self.confirm_per_event // 2]
-            tail = candidates[self.confirm_per_event // 2:]
-            extra_count = min(len(tail),
-                              self.confirm_per_event - len(head))
-            if extra_count:
-                picks = pick_rng.choice(len(tail), size=extra_count,
-                                        replace=False)
-                head = head + [tail[int(i)] for i in picks]
-            results = [self.confirmer.confirm(gadget, event)
-                       for _, gadget in head]
-            confirmed[event] = self.confirmer.reorder_validate(results)
+        with tracer.span("fuzz.confirm", events=len(event_indices)):
+            pick_rng = ensure_rng(int(self._grammar_rng.integers(2**63)))
+            confirmed: dict[int, list[ConfirmationResult]] = {}
+            for event in (int(e) for e in event_indices):
+                candidates = [(delta, self.gadget_at(index))
+                              for index, delta in screened.get(event, [])]
+                candidates.sort(key=lambda pair: -pair[0])
+                head = candidates[:self.confirm_per_event // 2]
+                tail = candidates[self.confirm_per_event // 2:]
+                extra_count = min(len(tail),
+                                  self.confirm_per_event - len(head))
+                if extra_count:
+                    picks = pick_rng.choice(len(tail), size=extra_count,
+                                            replace=False)
+                    head = head + [tail[int(i)] for i in picks]
+                results = [self.confirmer.confirm(gadget, event)
+                           for _, gadget in head]
+                confirmed[event] = self.confirmer.reorder_validate(results)
         step_seconds["confirmation"] = time.perf_counter() - start
 
         # Step 4: filtering (clustering + covering set).
         start = time.perf_counter()
-        filtered = {event: self.filter.filter_event(results)
-                    for event, results in confirmed.items()}
-        covering = minimal_covering_set(filtered)
+        with tracer.span("fuzz.filter"):
+            filtered = {event: self.filter.filter_event(results)
+                        for event, results in confirmed.items()}
+            covering = minimal_covering_set(filtered)
         step_seconds["filtering"] = time.perf_counter() - start
+
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("fuzz.events_fuzzed").inc(len(event_indices))
+            registry.counter("fuzz.confirmed").inc(
+                sum(len(r) for r in confirmed.values()))
+            registry.gauge("fuzz.covering_gadgets").set(len(covering))
 
         grammar = GadgetGrammar(cleanup.legal, rng=0)
         return FuzzingReport(
@@ -297,17 +308,23 @@ class EventFuzzer:
             raise ValueError("event_indices must be non-empty")
         step_seconds: dict[str, float] = {}
 
+        tracer = telemetry.tracer()
+        trace_dir = telemetry.trace_dir()
+        shard_trace_dir = str(trace_dir) if trace_dir is not None else None
+
         # Step 1: cleanup.
         start = time.perf_counter()
-        cleanup = self.run_cleanup()
+        with tracer.span("fuzz.cleanup"):
+            cleanup = self.run_cleanup()
         step_seconds["cleanup"] = time.perf_counter() - start
 
         # Step 2: generation + execution (screening over all events).
         start = time.perf_counter()
         config = self.shard_config(event_indices)
-        results = [screen_shard(config, shard)
-                   for shard in plan_shards(self.gadget_budget,
-                                            self.shard_size)]
+        plan = plan_shards(self.gadget_budget, self.shard_size)
+        with tracer.span("fuzz.screening", shards=len(plan), resumed=0):
+            results = [screen_shard_traced(config, shard, shard_trace_dir)
+                       for shard in plan]
         screened = merge_screened(results)
         step_seconds["generation_execution"] = time.perf_counter() - start
 

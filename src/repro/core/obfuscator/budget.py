@@ -8,12 +8,19 @@ per-slice ε suggests. This module makes that explicit: sequential
 composition (T·ε) and the advanced composition bound of Dwork,
 Rothblum & Vadhan (2010), so a deployment can state exactly what is
 guaranteed for a full trace.
+
+Every :meth:`PrivacyAccountant.record` call also feeds the telemetry
+ε-ledger (a no-op unless telemetry is configured), and accountants
+serialize to plain dicts so budget accounting can be checkpointed and
+restored across a crash instead of silently resetting.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+from repro.telemetry import runtime as _telemetry
 
 
 def sequential_composition(epsilon: float, releases: int) -> float:
@@ -65,10 +72,11 @@ class PrivacyAccountant:
             raise ValueError("delta must be in (0, 1)")
 
     def record(self, slices: int = 1) -> None:
-        """Record ``slices`` additional releases."""
+        """Record ``slices`` additional releases (and feed the ε-ledger)."""
         if slices < 1:
             raise ValueError(f"slices must be >= 1, got {slices}")
         self.releases += slices
+        _telemetry.ledger().record_release(self, slices)
 
     @property
     def basic_epsilon(self) -> float:
@@ -85,13 +93,47 @@ class PrivacyAccountant:
         return advanced_composition(self.per_slice_epsilon, self.releases,
                                     self.delta)
 
+    @property
+    def tightest_epsilon(self) -> float:
+        """The tighter of the two composed bounds."""
+        if self.releases == 0:
+            return 0.0
+        return min(self.basic_epsilon, self.advanced_epsilon)
+
+    @property
+    def composition_bound(self) -> str:
+        """Which composition theorem currently gives the tighter ε."""
+        if self.releases == 0:
+            return "none"
+        return ("advanced" if self.tightest_epsilon == self.advanced_epsilon
+                else "basic")
+
     def statement(self) -> str:
         """Human-readable guarantee for the released window."""
         if self.releases == 0:
             return "no slices released; budget untouched"
-        tightest = min(self.basic_epsilon, self.advanced_epsilon)
-        bound = ("advanced" if tightest == self.advanced_epsilon
-                 else "basic")
         return (f"{self.releases} slices at eps={self.per_slice_epsilon:g} "
-                f"each: window guarantee ({tightest:.4g}, "
-                f"{self.delta:g})-DP via {bound} composition")
+                f"each: window guarantee ({self.tightest_epsilon:.4g}, "
+                f"{self.delta:g})-DP via {self.composition_bound} "
+                f"composition")
+
+    # -- checkpoint round trip -----------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict state for checkpoints and artifacts."""
+        return {"per_slice_epsilon": self.per_slice_epsilon,
+                "delta": self.delta, "releases": self.releases}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrivacyAccountant":
+        """Rebuild an accountant, restoring its released-slice count."""
+        accountant = cls(
+            per_slice_epsilon=float(payload["per_slice_epsilon"]),
+            delta=float(payload.get("delta", 1e-6)))
+        releases = int(payload.get("releases", 0))
+        if releases < 0:
+            raise ValueError(f"releases must be >= 0, got {releases}")
+        # Restore directly: the restored slices were already accounted
+        # (and ledgered) by the run that checkpointed them.
+        accountant.releases = releases
+        return accountant

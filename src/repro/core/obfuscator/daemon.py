@@ -13,6 +13,7 @@ from repro.core.obfuscator.dp import DpMechanism, DstarMechanism, LaplaceMechani
 from repro.core.obfuscator.injector import InjectionReport, NoiseInjector
 from repro.core.obfuscator.kernel_module import KernelModule
 from repro.core.obfuscator.noise import NoiseCalculator
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
 
 
@@ -52,6 +53,12 @@ class UserspaceDaemon:
 
     def compute_noise(self, reference_values: np.ndarray) -> np.ndarray:
         """Per-slice noise for one window of reference-event values."""
+        with telemetry.tracer().span(
+                "obfuscate.noise",
+                mechanism=type(self.mechanism).__name__):
+            return self._compute_noise(reference_values)
+
+    def _compute_noise(self, reference_values: np.ndarray) -> np.ndarray:
         reference_values = np.asarray(reference_values, dtype=np.float64)
         if self.needs_hpc_monitoring:
             if not self.kernel_module.running:
@@ -72,5 +79,7 @@ class UserspaceDaemon:
                   reference_values: np.ndarray) -> np.ndarray:
         """Compute noise for the window and inject it."""
         noise = self.compute_noise(reference_values)
-        obfuscated, self.last_report = self.injector.inject(matrix, noise)
+        with telemetry.tracer().span("obfuscate.inject"):
+            obfuscated, self.last_report = self.injector.inject(matrix,
+                                                                noise)
         return obfuscated

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cpu.signals import NUM_SIGNALS, Signal, zero_signals
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
+
+#: Buckets for the per-slice gadget-repetition histogram.
+_REPS_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                 500.0, 1000.0)
 
 
 def default_noise_components() -> np.ndarray:
@@ -252,12 +257,25 @@ class NoiseInjector:
         per_component = np.round(
             clipped[:, None] * mix / self._component_reference_counts)
         injected = per_component @ self.components
+        repetitions = per_component.sum(axis=1)
         report = InjectionReport(
-            repetitions=per_component.sum(axis=1),
+            repetitions=repetitions,
             injected_reference_counts=per_component
             @ self._component_reference_counts,
             injected_cycles=per_component @ self._component_cycles,
             clipped_slices=clipped_slices)
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("inject.windows").inc()
+            registry.counter("inject.slices").inc(len(matrix))
+            registry.counter("inject.clipped_slices").inc(clipped_slices)
+            registry.counter("inject.repetitions").inc(
+                float(repetitions.sum()))
+            registry.counter("inject.cycles").inc(report.total_cycles)
+            histogram = registry.histogram("inject.reps_per_slice",
+                                           _REPS_BUCKETS)
+            for value in repetitions:
+                histogram.observe(float(value))
         return matrix + injected, report
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.telemetry import runtime as telemetry
+
 
 @dataclass(frozen=True)
 class HpcSample:
@@ -35,6 +37,7 @@ class NetlinkChannel:
         """Enqueue a sample; drops (and counts) on overflow."""
         if len(self._queue) >= self.capacity:
             self.dropped += 1
+            telemetry.metrics().counter("kernel.samples_dropped").inc()
             return False
         self._queue.append(sample)
         return True
@@ -82,6 +85,7 @@ class KernelModule:
         """RDPMC tick: forward the reading to the daemon when needed."""
         if not self.running:
             raise RuntimeError("kernel module not launched")
+        telemetry.metrics().counter("kernel.hpc_reads").inc()
         if self.monitor_hpcs:
             self.channel.send(HpcSample(self._slice_index, float(value)))
         self._slice_index += 1

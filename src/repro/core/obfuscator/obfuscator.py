@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.obfuscator.budget import PrivacyAccountant
 from repro.core.obfuscator.daemon import UserspaceDaemon
 from repro.core.obfuscator.dp import DpMechanism, DstarMechanism, LaplaceMechanism
 from repro.core.obfuscator.injector import (
     InjectionReport, NoiseInjector, default_noise_components)
 from repro.core.obfuscator.kernel_module import KernelModule
 from repro.cpu.events import EventCatalog, processor_catalog
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
 
 
@@ -86,6 +88,10 @@ class EventObfuscator:
         :meth:`repro.core.aegis.Aegis.build_obfuscator`).
     clip_bound:
         B_u: per-slice injected counts are clipped to [0, B_u].
+    accountant:
+        A restored :class:`PrivacyAccountant` carrying budget already
+        spent by a previous process (e.g. loaded from a deployment
+        artifact after a crash); a fresh one is created when omitted.
     """
 
     def __init__(self, mechanism: "str | DpMechanism" = "laplace",
@@ -95,6 +101,7 @@ class EventObfuscator:
                  catalog: EventCatalog | None = None,
                  segment_signals: np.ndarray | None = None,
                  clip_bound: float = np.inf,
+                 accountant: PrivacyAccountant | None = None,
                  rng: "int | np.random.Generator | None" = None) -> None:
         self.catalog = catalog or processor_catalog(processor_model)
         self.reference_event = reference_event
@@ -119,6 +126,15 @@ class EventObfuscator:
         self.kernel_module = KernelModule()
         self.daemon = UserspaceDaemon(self.mechanism, self.injector,
                                       self.kernel_module, rng=self._rng)
+        if accountant is not None \
+                and accountant.per_slice_epsilon != self.mechanism.epsilon:
+            raise ValueError(
+                f"restored accountant was calibrated for eps="
+                f"{accountant.per_slice_epsilon:g} per slice, but the "
+                f"mechanism releases at eps={self.mechanism.epsilon:g}")
+        self.accountant = accountant if accountant is not None \
+            else PrivacyAccountant(per_slice_epsilon=self.mechanism.epsilon)
+        telemetry.ledger().sync(self.accountant)
         self.last_report: InjectionReport | None = None
         self.reports: list[InjectionReport] = []
 
@@ -140,8 +156,12 @@ class EventObfuscator:
         derived from the returned matrix.
         """
         matrix = np.asarray(matrix, dtype=np.float64)
-        reference = matrix @ self._reference_weights
-        obfuscated = self.daemon.obfuscate(matrix, reference)
+        with telemetry.tracer().span("obfuscate.window",
+                                     slices=len(matrix)):
+            reference = matrix @ self._reference_weights
+            obfuscated = self.daemon.obfuscate(matrix, reference)
+        if len(matrix):
+            self.accountant.record(len(matrix))
         self.last_report = self.daemon.last_report
         if self.last_report is not None:
             self.reports.append(self.last_report)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.profiler.ranking import EventRanking, VulnerabilityRanker
 from repro.core.profiler.warmup import WarmupProfiler, WarmupReport
 from repro.cpu.events import processor_catalog
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.workloads.base import Workload
 
@@ -75,11 +76,25 @@ class ApplicationProfiler:
 
     def profile(self, secrets: list | None = None) -> ProfilerReport:
         """Run warm-up profiling then MI ranking; returns the report."""
-        warmup = self.warmup_profiler.run()
+        tracer = telemetry.tracer()
+        with tracer.span("profile.warmup",
+                         events=len(self.catalog)):
+            warmup = self.warmup_profiler.run()
         if warmup.surviving_count == 0:
             raise RuntimeError(
                 "warm-up profiling found no responsive events; the "
                 "workload may be empty or the threshold too strict")
-        ranking = self.ranker.rank(warmup.surviving_indices, secrets=secrets)
+        with tracer.span("profile.rank",
+                         events=warmup.surviving_count):
+            ranking = self.ranker.rank(warmup.surviving_indices,
+                                       secrets=secrets)
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("profile.events_screened").inc(
+                warmup.total_events)
+            registry.counter("profile.events_surviving").inc(
+                warmup.surviving_count)
+            registry.counter("profile.events_ranked").inc(
+                len(ranking.event_indices))
         return ProfilerReport(processor_model=self.processor_model,
                               warmup=warmup, ranking=ranking)

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.profiler.gaussian import fit_class_gaussians, mutual_information
 from repro.core.profiler.pca import first_principal_component
 from repro.cpu.events import EventCatalog
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
 from repro.workloads.base import Workload
 
@@ -97,13 +98,18 @@ class VulnerabilityRanker:
         """
         runs = []
         labels = []
+        tracer = telemetry.tracer()
+        run_counter = telemetry.metrics().counter("profile.rank_runs")
         for label, secret in enumerate(secrets):
-            for _ in range(self.runs_per_secret):
-                blocks = self.workload.generate_blocks(
-                    secret, self._rng, duration_s=self.window_s,
-                    slice_s=self.slice_s)
-                runs.append(np.stack([b.signals for b in blocks]))
-                labels.append(label)
+            with tracer.span("profile.rank_secret", secret=label,
+                             runs=self.runs_per_secret):
+                for _ in range(self.runs_per_secret):
+                    blocks = self.workload.generate_blocks(
+                        secret, self._rng, duration_s=self.window_s,
+                        slice_s=self.slice_s)
+                    runs.append(np.stack([b.signals for b in blocks]))
+                    labels.append(label)
+                    run_counter.inc()
         return np.stack(runs), np.array(labels)
 
     def rank(self, event_indices: np.ndarray,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cpu.events import EventCatalog, EventType
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
 from repro.workloads.base import Workload, idle_mix
 
@@ -110,18 +111,14 @@ class WarmupProfiler:
         secret = secret if secret is not None else self.workload.secrets[-1]
         num_events = len(self.catalog)
         passes = np.zeros(num_events, dtype=int)
-        for _ in range(self.repetitions):
-            active = self._active_signals(secret, self._rng)
-            idle = self._idle_signals(self._rng)
-            noisy_active = self.catalog.counts_for(active, rng=self._rng)
-            noisy_idle = self.catalog.counts_for(idle, rng=self._rng)
-            # Noise scale of the difference of two measurements.
-            sigma = (self.catalog.noise_rel * np.maximum(noisy_active,
-                                                         noisy_idle)
-                     + self.catalog.noise_abs) * np.sqrt(2.0)
-            changed = np.abs(noisy_active - noisy_idle) \
-                > self.threshold_sigmas * sigma
-            passes += changed
+        tracer = telemetry.tracer()
+        repetition_counter = telemetry.metrics().counter(
+            "profile.warmup_repetitions")
+        for repetition in range(self.repetitions):
+            with tracer.span("profile.warmup_pass",
+                             repetition=repetition):
+                self._warmup_pass(secret, passes)
+            repetition_counter.inc()
         surviving = np.flatnonzero(passes == self.repetitions)
         # Paper's T_W = (M * t_w * 2) / C counts one active/idle pass;
         # the repetitions reuse the same measurements for confirmation.
@@ -135,3 +132,17 @@ class WarmupProfiler:
             surviving_indices=surviving, total_events=num_events,
             repetitions=self.repetitions, simulated_seconds=simulated,
             type_histogram_before=before, type_histogram_after=after)
+
+    def _warmup_pass(self, secret, passes: np.ndarray) -> None:
+        """One active-vs-idle comparison over every catalog event."""
+        active = self._active_signals(secret, self._rng)
+        idle = self._idle_signals(self._rng)
+        noisy_active = self.catalog.counts_for(active, rng=self._rng)
+        noisy_idle = self.catalog.counts_for(idle, rng=self._rng)
+        # Noise scale of the difference of two measurements.
+        sigma = (self.catalog.noise_rel * np.maximum(noisy_active,
+                                                     noisy_idle)
+                 + self.catalog.noise_abs) * np.sqrt(2.0)
+        changed = np.abs(noisy_active - noisy_idle) \
+            > self.threshold_sigmas * sigma
+        passes += changed

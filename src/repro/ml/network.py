@@ -6,6 +6,7 @@ training curves of the paper's Fig. 1.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -14,6 +15,8 @@ from repro.ml.layers import Layer
 from repro.ml.losses import SoftmaxCrossEntropy, softmax
 from repro.ml.metrics import accuracy_score
 from repro.utils.rng import ensure_rng
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -132,5 +135,5 @@ class Network:
                        f"acc={history.train_accuracy[-1]:.4f}")
                 if history.val_accuracy:
                     msg += f" val_acc={history.val_accuracy[-1]:.4f}"
-                print(msg)
+                logger.info(msg)
         return history

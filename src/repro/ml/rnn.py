@@ -8,10 +8,14 @@ producing per-frame class logits; decoding lives in :mod:`repro.ml.ctc`.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.ml.losses import SoftmaxCrossEntropy
 from repro.utils.rng import ensure_rng, spawn_rng
+
+logger = logging.getLogger(__name__)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -216,7 +220,7 @@ class BiGruSequenceClassifier:
             accuracy = correct / total if total else 0.0
             curve.append(accuracy)
             if verbose:
-                print(f"frame accuracy: {accuracy:.4f}")
+                logger.info("frame accuracy: %.4f", accuracy)
         return curve
 
     def fit_ctc(self, x: np.ndarray, label_sequences: "list[list[int]]",
@@ -254,7 +258,7 @@ class BiGruSequenceClassifier:
                 batches += 1
             curve.append(epoch_loss / max(1, batches))
             if verbose:
-                print(f"ctc loss: {curve[-1]:.4f}")
+                logger.info("ctc loss: %.4f", curve[-1])
         return curve
 
     def predict_frames(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,110 @@
+"""The ε-ledger: live privacy-budget accounting as metrics.
+
+Every noise release recorded by a
+:class:`~repro.core.obfuscator.budget.PrivacyAccountant` is mirrored
+into the metrics registry, so the composed (sequential + advanced)
+guarantee of everything released so far is queryable mid-run — from the
+live registry, from a per-process snapshot file, or from the merged run
+report.
+
+Metric names (the ``privacy.`` namespace):
+
+- ``privacy.slices_released`` (counter) — total released slices.
+- ``privacy.windows`` (counter) — obfuscated monitoring windows.
+- ``privacy.per_slice_epsilon`` (gauge) — ε of each slice's release.
+- ``privacy.epsilon_basic`` (gauge) — sequential composition T·ε.
+- ``privacy.epsilon_advanced`` (gauge) — advanced composition bound.
+- ``privacy.epsilon_spent`` (gauge) — the tighter of the two.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.obfuscator.budget import PrivacyAccountant
+
+#: Gauge names the ledger maintains, in render order.
+LEDGER_GAUGES = ("privacy.per_slice_epsilon", "privacy.epsilon_basic",
+                 "privacy.epsilon_advanced", "privacy.epsilon_spent")
+
+
+class PrivacyLedger:
+    """Mirrors accountant state into a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    def record_release(self, accountant: "PrivacyAccountant",
+                       slices: int) -> None:
+        """Account ``slices`` fresh releases already recorded on
+        ``accountant`` and refresh the composed-guarantee gauges."""
+        registry = self._registry
+        registry.counter("privacy.slices_released").inc(slices)
+        registry.counter("privacy.windows").inc()
+        self.sync(accountant)
+
+    def sync(self, accountant: "PrivacyAccountant") -> None:
+        """Refresh the gauges from the accountant's current state."""
+        registry = self._registry
+        registry.gauge("privacy.per_slice_epsilon").set(
+            accountant.per_slice_epsilon)
+        registry.gauge("privacy.epsilon_basic").set(
+            accountant.basic_epsilon)
+        registry.gauge("privacy.epsilon_advanced").set(
+            accountant.advanced_epsilon)
+        registry.gauge("privacy.epsilon_spent").set(
+            accountant.tightest_epsilon)
+
+    def composed(self) -> dict:
+        """The live composed guarantee, straight from the registry."""
+        registry = self._registry
+        return {
+            "slices_released": registry.counter(
+                "privacy.slices_released").value,
+            "windows": registry.counter("privacy.windows").value,
+            "per_slice_epsilon": registry.gauge(
+                "privacy.per_slice_epsilon").value,
+            "epsilon_basic": registry.gauge("privacy.epsilon_basic").value,
+            "epsilon_advanced": registry.gauge(
+                "privacy.epsilon_advanced").value,
+            "epsilon_spent": registry.gauge("privacy.epsilon_spent").value,
+        }
+
+
+class NoopPrivacyLedger:
+    """Disabled ledger."""
+
+    enabled = False
+
+    def record_release(self, accountant, slices: int) -> None:
+        return None
+
+    def sync(self, accountant) -> None:
+        return None
+
+    def composed(self) -> dict:
+        return {"slices_released": 0.0, "windows": 0.0,
+                "per_slice_epsilon": 0.0, "epsilon_basic": 0.0,
+                "epsilon_advanced": 0.0, "epsilon_spent": 0.0}
+
+
+NOOP_LEDGER = NoopPrivacyLedger()
+
+
+def epsilon_summary(metrics_snapshot: dict) -> dict:
+    """Read the ledger state back out of a (merged) metrics snapshot."""
+    counters = metrics_snapshot.get("counters", {})
+    gauges = metrics_snapshot.get("gauges", {})
+    return {
+        "slices_released": counters.get("privacy.slices_released", 0.0),
+        "windows": counters.get("privacy.windows", 0.0),
+        "per_slice_epsilon": gauges.get("privacy.per_slice_epsilon", 0.0),
+        "epsilon_basic": gauges.get("privacy.epsilon_basic", 0.0),
+        "epsilon_advanced": gauges.get("privacy.epsilon_advanced", 0.0),
+        "epsilon_spent": gauges.get("privacy.epsilon_spent", 0.0),
+    }

@@ -1,0 +1,233 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+Cheap enough to leave on in hot paths: instruments are plain attribute
+updates behind a memoized name lookup, and the disabled registry hands
+back shared no-op singletons so instrumented code needs no ``if``
+guards. Snapshots are plain dicts; :func:`merge_snapshots` is the
+deterministic cross-process reduction (counters and histogram buckets
+sum, gauges take the maximum — both associative and commutative, so the
+merge is invariant to worker count and completion order).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+#: Default histogram bucket upper bounds (last bucket is +inf overflow).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   50.0, 100.0)
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bounds`` are ascending upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or the overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ValueError("bounds must be non-empty and ascending")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NoopInstrument:
+    """Shared disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    total = 0.0
+    count = 0
+    mean = 0.0
+    bounds: tuple = ()
+    counts: list = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, memoized by name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument, keys sorted."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {"bounds": list(h.bounds), "counts": list(h.counts),
+                       "total": h.total, "count": h.count}
+                for name, h in sorted(self._histograms.items())},
+        }
+
+    def write(self, path: "str | Path") -> Path:
+        """Atomically export the snapshot as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+
+class NoopMetricsRegistry:
+    """Disabled registry: every lookup returns the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS
+                  ) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def clear(self) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NOOP_METRICS = NoopMetricsRegistry()
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Deterministically reduce metric snapshots from many processes.
+
+    Counters and histogram bucket counts sum; gauges take the maximum.
+    Both reductions are associative and commutative, so the result is
+    independent of process count and merge order.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            value = float(value)
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(payload["bounds"]),
+                    "counts": list(payload["counts"]),
+                    "total": float(payload["total"]),
+                    "count": int(payload["count"])}
+                continue
+            if merged["bounds"] != list(payload["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bucket bounds")
+            merged["counts"] = [a + b for a, b in
+                                zip(merged["counts"], payload["counts"])]
+            merged["total"] += float(payload["total"])
+            merged["count"] += int(payload["count"])
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
+def read_snapshot(path: "str | Path") -> dict:
+    """Load a metrics snapshot JSON file."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,48 @@
+"""Logging configuration for the CLI and library loggers.
+
+Library modules log through module-level loggers under the ``repro``
+namespace and never print; the CLI installs one stdout handler on the
+``repro`` root so ``-v``/``-q`` control everything — user-facing
+summaries (INFO), shard-level progress (DEBUG), and warnings — from
+one place.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Namespace root every repro logger hangs off.
+ROOT_LOGGER = "repro"
+
+
+def configure_cli_logging(verbose: int = 0, quiet: bool = False,
+                          stream: "IO[str] | None" = None
+                          ) -> logging.Logger:
+    """Install a fresh stdout handler on the ``repro`` root logger.
+
+    ``quiet`` raises the threshold to WARNING (summaries suppressed),
+    ``verbose`` lowers it to DEBUG and switches to an annotated format.
+    Reconfiguring replaces the previous handler, so repeated in-process
+    invocations (tests, notebooks) never double-log and always write to
+    the *current* ``sys.stdout``.
+    """
+    if quiet:
+        level = logging.WARNING
+    elif verbose:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stdout)
+    pattern = ("%(levelname).1s %(name)s: %(message)s" if verbose
+               else "%(message)s")
+    handler.setFormatter(logging.Formatter(pattern))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

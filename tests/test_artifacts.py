@@ -81,6 +81,31 @@ class TestInstantiation:
         out = obfuscator.obfuscate_matrix(matrix, 0.01)
         assert np.all(out[:, Signal.UOPS] >= 0)
 
+    def test_accountant_state_survives_round_trip(self, artifact,
+                                                  tmp_path):
+        # Spend budget, checkpoint, reload: accounting must carry over.
+        obfuscator = artifact.build_obfuscator(rng=0)
+        obfuscator.obfuscate_matrix(np.zeros((10, NUM_SIGNALS)), 0.01)
+        assert obfuscator.accountant.releases == 10
+        artifact.update_budget(obfuscator)
+        path = tmp_path / "aegis.json"
+        artifact.save(path)
+        restored = DeploymentArtifact.load(path).build_obfuscator(rng=1)
+        assert restored.accountant.releases == 10
+        assert restored.accountant.statement() \
+            == obfuscator.accountant.statement()
+        restored.obfuscate_matrix(np.zeros((5, NUM_SIGNALS)), 0.01)
+        assert restored.accountant.releases == 15
+
+    def test_artifact_without_accountant_state_is_fresh(self, artifact):
+        # Pre-telemetry artifacts (no accountant_state) still load.
+        import json
+        payload = json.loads(artifact.to_json())
+        payload.pop("accountant_state", None)
+        obfuscator = DeploymentArtifact.from_json(
+            json.dumps(payload)).build_obfuscator(rng=0)
+        assert obfuscator.accountant.releases == 0
+
     def test_from_deployment_round_trip(self):
         # Exercise the full offline pipeline -> artifact -> obfuscator.
         from repro.core import Aegis

@@ -1,0 +1,351 @@
+"""Telemetry subsystem: spans, metrics, ledger, runtime, aggregation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.fuzzer import FuzzingCampaign
+from repro.core.obfuscator.budget import PrivacyAccountant
+from repro.telemetry.metrics import NOOP_INSTRUMENT
+from repro.telemetry.spans import NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+# -- spans ------------------------------------------------------------
+
+
+class FakeClock:
+    """Deterministic monotonic clock for span timing tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def test_span_nesting_assigns_parent_ids():
+    tracer = telemetry.Tracer(process="main", clock=FakeClock())
+    with tracer.span("outer", stage="fuzz"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    records = tracer.records()
+    assert [r.name for r in records] == ["outer", "inner", "inner"]
+    assert [r.span_id for r in records] == [0, 1, 2]
+    outer, first, second = records
+    assert outer.parent_id is None
+    assert first.parent_id == outer.span_id
+    assert second.parent_id == outer.span_id
+    assert outer.attrs == {"stage": "fuzz"}
+    # The outer span covers both children in fake-clock time.
+    assert outer.duration_s > first.duration_s + second.duration_s - 1e-9
+
+
+def test_span_error_status_and_set_attr():
+    tracer = telemetry.Tracer(process="main")
+    with pytest.raises(RuntimeError):
+        with tracer.span("work") as span:
+            span.set_attr("items", 3)
+            raise RuntimeError("boom")
+    (record,) = tracer.records()
+    assert record.status == "error"
+    assert record.attrs == {"items": 3}
+
+
+def test_span_jsonl_round_trip(tmp_path):
+    tracer = telemetry.Tracer(process="shard-00002")
+    with tracer.span("fuzz.screen_shard", shard=2):
+        with tracer.span("fuzz.measure"):
+            pass
+    path = tracer.write(tmp_path / "trace-shard-00002.jsonl")
+    restored = telemetry.read_spans(path)
+    assert [r.structural_key() for r in restored] \
+        == [r.structural_key() for r in tracer.records()]
+    assert restored[0].process == "shard-00002"
+
+
+def test_noop_tracer_returns_shared_span():
+    assert telemetry.NOOP_TRACER.span("a") is NOOP_SPAN
+    assert telemetry.NOOP_TRACER.span("b", k=1) is NOOP_SPAN
+    with telemetry.NOOP_TRACER.span("a") as span:
+        span.set_attr("ignored", 1)
+    assert telemetry.NOOP_TRACER.records() == []
+    assert telemetry.NOOP_TRACER.to_jsonl() == ""
+
+
+# -- metrics ----------------------------------------------------------
+
+
+def test_counter_and_gauge_basics():
+    registry = telemetry.MetricsRegistry()
+    counter = registry.counter("fuzz.gadgets")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5.0
+    assert registry.counter("fuzz.gadgets") is counter
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    gauge = registry.gauge("campaign.workers")
+    gauge.set(4)
+    assert gauge.value == 4.0
+
+
+def test_histogram_bucket_boundaries():
+    h = telemetry.Histogram(bounds=(1.0, 5.0, 10.0))
+    for value in (0.5, 1.0, 1.01, 5.0, 9.9, 10.0, 11.0, 1000.0):
+        h.observe(value)
+    # <=1, <=5, <=10, overflow
+    assert h.counts == [2, 2, 2, 2]
+    assert h.count == 8
+    assert h.mean == pytest.approx(sum(
+        (0.5, 1.0, 1.01, 5.0, 9.9, 10.0, 11.0, 1000.0)) / 8)
+    with pytest.raises(ValueError):
+        telemetry.Histogram(bounds=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        telemetry.Histogram(bounds=())
+
+
+def test_disabled_registry_hands_back_shared_noops():
+    registry = telemetry.NOOP_METRICS
+    assert registry.counter("x") is NOOP_INSTRUMENT
+    assert registry.gauge("y") is NOOP_INSTRUMENT
+    assert registry.histogram("z") is NOOP_INSTRUMENT
+    registry.counter("x").inc(10)
+    registry.histogram("z").observe(1.0)
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+
+
+def test_merge_snapshots_rules():
+    a = telemetry.MetricsRegistry()
+    b = telemetry.MetricsRegistry()
+    a.counter("n").inc(3)
+    b.counter("n").inc(4)
+    a.gauge("g").set(1.0)
+    b.gauge("g").set(7.0)
+    a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+    b.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+    merged = telemetry.merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"]["n"] == 7.0
+    assert merged["gauges"]["g"] == 7.0
+    assert merged["histograms"]["h"]["counts"] == [1, 1, 0]
+    assert merged["histograms"]["h"]["count"] == 2
+    # Order-invariant.
+    swapped = telemetry.merge_snapshots([b.snapshot(), a.snapshot()])
+    assert merged == swapped
+
+
+def test_merge_snapshots_rejects_mismatched_bounds():
+    a = telemetry.MetricsRegistry()
+    b = telemetry.MetricsRegistry()
+    a.histogram("h", bounds=(1.0,)).observe(0.5)
+    b.histogram("h", bounds=(2.0,)).observe(0.5)
+    with pytest.raises(ValueError, match="mismatched"):
+        telemetry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+# -- ε-ledger ---------------------------------------------------------
+
+
+def test_ledger_mirrors_accountant_state():
+    registry = telemetry.MetricsRegistry()
+    ledger = telemetry.PrivacyLedger(registry)
+    accountant = PrivacyAccountant(per_slice_epsilon=0.5)
+    accountant.releases = 300  # bypass record(): no runtime configured
+    ledger.record_release(accountant, 300)
+    composed = ledger.composed()
+    assert composed["slices_released"] == 300.0
+    assert composed["windows"] == 1.0
+    assert composed["per_slice_epsilon"] == 0.5
+    assert composed["epsilon_basic"] == pytest.approx(
+        accountant.basic_epsilon)
+    assert composed["epsilon_advanced"] == pytest.approx(
+        accountant.advanced_epsilon)
+    assert composed["epsilon_spent"] == pytest.approx(
+        accountant.tightest_epsilon)
+    # The summary reads the same numbers back out of a snapshot.
+    summary = telemetry.epsilon_summary(registry.snapshot())
+    assert summary == pytest.approx(composed)
+
+
+def test_accountant_record_feeds_active_ledger():
+    with telemetry.session():
+        accountant = PrivacyAccountant(per_slice_epsilon=0.25)
+        accountant.record(100)
+        accountant.record(50)
+        composed = telemetry.ledger().composed()
+    assert composed["slices_released"] == 150.0
+    assert composed["windows"] == 2.0
+    assert composed["epsilon_spent"] == pytest.approx(
+        accountant.tightest_epsilon)
+
+
+def test_accountant_checkpoint_round_trip():
+    accountant = PrivacyAccountant(per_slice_epsilon=0.5, delta=1e-5)
+    accountant.releases = 1234
+    restored = PrivacyAccountant.from_dict(accountant.to_dict())
+    assert restored.per_slice_epsilon == 0.5
+    assert restored.delta == 1e-5
+    assert restored.releases == 1234
+    assert restored.statement() == accountant.statement()
+    with pytest.raises(ValueError):
+        PrivacyAccountant.from_dict(
+            {"per_slice_epsilon": 0.5, "releases": -1})
+
+
+# -- runtime ----------------------------------------------------------
+
+
+def test_runtime_disabled_by_default():
+    assert not telemetry.enabled()
+    assert telemetry.tracer() is telemetry.NOOP_TRACER
+    assert telemetry.metrics() is telemetry.NOOP_METRICS
+    assert telemetry.ledger() is telemetry.NOOP_LEDGER
+    assert telemetry.flush() == []
+
+
+def test_session_scopes_and_restores(tmp_path):
+    with telemetry.session(trace_dir=tmp_path, process="main"):
+        assert telemetry.enabled()
+        with telemetry.tracer().span("stage"):
+            telemetry.metrics().counter("n").inc()
+    assert not telemetry.enabled()
+    assert (tmp_path / "trace-main.jsonl").exists()
+    assert (tmp_path / "metrics-main.json").exists()
+    (span,) = telemetry.read_spans(tmp_path / "trace-main.jsonl")
+    assert span.name == "stage"
+    snapshot = telemetry.read_snapshot(tmp_path / "metrics-main.json")
+    assert snapshot["counters"]["n"] == 1.0
+
+
+def test_session_flushes_on_error(tmp_path):
+    with pytest.raises(RuntimeError):
+        with telemetry.session(trace_dir=tmp_path, process="main"):
+            with telemetry.tracer().span("stage"):
+                raise RuntimeError("crash")
+    (span,) = telemetry.read_spans(tmp_path / "trace-main.jsonl")
+    assert span.status == "error"
+
+
+# -- aggregation ------------------------------------------------------
+
+
+def _emit_process(trace_dir, process, spans, counters):
+    with telemetry.session(trace_dir=trace_dir, process=process):
+        for name in spans:
+            with telemetry.tracer().span(name):
+                pass
+        for name, amount in counters.items():
+            telemetry.metrics().counter(name).inc(amount)
+
+
+def test_merge_run_orders_processes_and_sums_metrics(tmp_path):
+    _emit_process(tmp_path, "shard-00001", ["fuzz.screen_shard"], {"n": 2})
+    _emit_process(tmp_path, "main", ["aegis.fuzz"], {"n": 1})
+    _emit_process(tmp_path, "shard-00000", ["fuzz.screen_shard"], {"n": 4})
+    run = telemetry.merge_run(tmp_path)
+    assert [s.process for s in run.spans] \
+        == ["main", "shard-00000", "shard-00001"]
+    assert run.metrics["counters"]["n"] == 7.0
+    assert (tmp_path / telemetry.MERGED_TRACE).exists()
+    assert (tmp_path / telemetry.MERGED_METRICS).exists()
+    # load_run prefers the merged artifacts and agrees with the merge.
+    loaded = telemetry.load_run(tmp_path)
+    assert loaded.structural_key() == run.structural_key()
+
+
+# -- campaign equivalence --------------------------------------------
+
+
+def _run_traced_campaign(tmp_path, make_fuzzer, fuzz_events, workers):
+    trace_dir = tmp_path / f"workers-{workers}"
+    with telemetry.session(trace_dir=trace_dir, process="main"):
+        fuzzer = make_fuzzer()
+        campaign = FuzzingCampaign(fuzzer, workers=workers)
+        report = campaign.run(np.array(fuzz_events))
+    run = telemetry.merge_run(trace_dir)
+    return report, run
+
+
+def _scrub_workers_gauge(run):
+    """Drop the one intentionally worker-dependent metric."""
+    run.metrics["gauges"].pop("campaign.workers", None)
+    return run
+
+
+def test_merged_telemetry_identical_across_worker_counts(
+        tmp_path, make_fuzzer, fuzz_events):
+    report1, run1 = _run_traced_campaign(
+        tmp_path, make_fuzzer, fuzz_events, workers=1)
+    report4, run4 = _run_traced_campaign(
+        tmp_path, make_fuzzer, fuzz_events, workers=4)
+    # The campaign result itself is worker-count invariant...
+    assert report1.covering_set.keys() == report4.covering_set.keys()
+    # ...and so is the merged telemetry, wall times aside.
+    key1 = _scrub_workers_gauge(run1).structural_key()
+    key4 = _scrub_workers_gauge(run4).structural_key()
+    assert key1 == key4
+    # Sanity: the runs actually contain per-shard telemetry.
+    assert len(run4.shard_spans()) == 4
+    assert {s.process for s in run4.shard_spans()} \
+        == {f"shard-{i:05d}" for i in range(4)}
+    assert run4.metrics["counters"]["fuzz.gadgets_screened"] == 160.0
+
+
+def test_traced_campaign_writes_per_shard_files(
+        tmp_path, make_fuzzer, fuzz_events):
+    _, run = _run_traced_campaign(
+        tmp_path, make_fuzzer, fuzz_events, workers=2)
+    trace_dir = tmp_path / "workers-2"
+    names = sorted(p.name for p in trace_dir.glob("trace-*.jsonl"))
+    assert names == ["trace-main.jsonl"] \
+        + [f"trace-shard-{i:05d}.jsonl" for i in range(4)]
+    stages = run.stage_seconds()
+    assert "fuzz.screening" in stages
+    assert len(run.shard_seconds()) == 4
+
+
+def test_untraced_campaign_emits_nothing(tmp_path, make_fuzzer,
+                                         fuzz_events):
+    fuzzer = make_fuzzer()
+    campaign = FuzzingCampaign(fuzzer, workers=2)
+    campaign.run(np.array(fuzz_events))
+    assert list(tmp_path.iterdir()) == []
+    assert telemetry.tracer() is telemetry.NOOP_TRACER
+
+
+# -- rendering --------------------------------------------------------
+
+
+def test_render_trace_dir(tmp_path, make_fuzzer, fuzz_events):
+    _, run = _run_traced_campaign(
+        tmp_path, make_fuzzer, fuzz_events, workers=2)
+    text = telemetry.render_trace_dir(tmp_path / "workers-2")
+    assert "Aegis run telemetry" in text
+    assert "Stage timings" in text
+    assert "Shard balance" in text
+    assert "fuzz.gadgets_screened" in text
+
+
+def test_structural_key_ignores_wall_times():
+    span = telemetry.SpanRecord(
+        name="s", span_id=0, parent_id=None, process="main",
+        start_s=1.0, duration_s=2.0)
+    other = telemetry.SpanRecord(
+        name="s", span_id=0, parent_id=None, process="main",
+        start_s=9.0, duration_s=0.1)
+    assert span.structural_key() == other.structural_key()
+    payload = json.loads(json.dumps(span.to_dict()))
+    assert telemetry.SpanRecord.from_dict(payload) == span
