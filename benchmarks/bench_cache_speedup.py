@@ -1,0 +1,110 @@
+"""Measurement cache: warm re-run speedup over cold screening.
+
+The content-addressed cache keys every screening measurement by
+(program bytes, processor config, RNG stream, repetitions), so a
+re-run of the same campaign — a resumed shard, a re-screen after a
+threshold tweak, a second shard pointing at the same ``--cache-dir`` —
+replays stored measurements instead of executing gadgets. Because the
+stored value is the full measured delta vector and JSON round-trips
+floats exactly, the warm report must match the cold one bit for bit.
+
+This bench runs the same campaign cold then warm against one cache
+directory and asserts the three properties the cache is sold on:
+every warm lookup hits (zero gadget executions during screening), the
+reports are identical, and the warm screening pass is faster.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SMOKE, emit, emit_metrics, once
+from repro import telemetry
+from repro.cache import runtime as cache_runtime
+from repro.core.fuzzer import EventFuzzer, FuzzingCampaign
+from repro.cpu.events import processor_catalog
+
+BUDGET = 256 if SMOKE else 1024
+SHARD_SIZE = 32 if SMOKE else 64
+MIN_WARM_SPEEDUP = 1.5
+
+
+def _report_key(report):
+    covering = sorted((g.name, tuple(sorted(e)))
+                      for g, e in report.covering_set.items())
+    confirmed = {
+        event: [(r.gadget.name, r.per_iteration_delta, r.cold_median,
+                 r.hot_median, r.confirmed) for r in results]
+        for event, results in report.confirmed_per_event.items()}
+    return (covering, confirmed, dict(report.screened_per_event),
+            report.gadgets_tested)
+
+
+def _run(events, cache_dir):
+    """One sequential campaign under a cache session; returns
+    (report, screening seconds, cache stats, counters)."""
+    fuzzer = EventFuzzer(gadget_budget=BUDGET, shard_size=SHARD_SIZE,
+                         confirm_per_event=4, rng=11)
+    campaign = FuzzingCampaign(fuzzer, workers=1)
+    with telemetry.session(process="main") as runtime, \
+            cache_runtime.session(cache_dir=cache_dir) as cache:
+        start = time.perf_counter()
+        report = campaign.run(events)
+        wall = time.perf_counter() - start
+        counters = runtime.metrics.snapshot()["counters"]
+    screening = report.step_seconds.get("generation_execution", wall)
+    return report, screening, cache.stats, counters
+
+
+@pytest.mark.benchmark(group="cache")
+def test_cache_speedup(benchmark, tmp_path):
+    catalog = processor_catalog("amd-epyc-7252")
+    events = np.array([catalog.index_of(n) for n in
+                       ("RETIRED_UOPS", "RETIRED_COND_BRANCHES",
+                        "DATA_CACHE_REFILLS_FROM_SYSTEM",
+                        "CACHE_LINE_FLUSHES")])
+    cache_dir = tmp_path / "measurements"
+
+    # Warm shared caches (ISA catalog, numpy) before timing anything.
+    _run(events, None)
+
+    cold_report, cold_s, cold_stats, cold_counters = \
+        once(benchmark, lambda: _run(events, cache_dir))
+    warm_report, warm_s, warm_stats, warm_counters = _run(events, cache_dir)
+
+    assert cold_stats.misses == BUDGET and cold_stats.hits == 0
+    assert warm_stats.hits == BUDGET and warm_stats.misses == 0
+    assert warm_counters.get("fuzz.executions", 0) == 0, \
+        "warm screening must not execute any gadget"
+    assert _report_key(warm_report) == _report_key(cold_report), \
+        "warm-cache report must be bit-identical to the cold one"
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    executions_saved = cold_counters.get("fuzz.executions", 0) \
+        - warm_counters.get("fuzz.executions", 0)
+    lines = [
+        f"budget {BUDGET} gadgets x {len(events)} events, "
+        f"shard size {SHARD_SIZE}",
+        f"{'pass':<6s} {'screening s':>12s} {'hits':>6s} {'misses':>7s} "
+        f"{'executions':>11s}",
+        f"{'cold':<6s} {cold_s:>12.3f} {cold_stats.hits:>6d} "
+        f"{cold_stats.misses:>7d} "
+        f"{cold_counters.get('fuzz.executions', 0):>11,.0f}",
+        f"{'warm':<6s} {warm_s:>12.3f} {warm_stats.hits:>6d} "
+        f"{warm_stats.misses:>7d} "
+        f"{warm_counters.get('fuzz.executions', 0):>11,.0f}",
+        f"warm screening speedup: {speedup:.2f}x "
+        f"({executions_saved:,.0f} gadget executions replayed from cache)",
+        f"disk tier: {cold_stats.bytes_written:,} bytes under "
+        f"{cache_dir.name}/objects/",
+        "warm report bit-identical to cold: yes",
+    ]
+    emit("cache_speedup", "\n".join(lines))
+    emit_metrics("cache_speedup", {
+        "warm_speedup": speedup,
+        "warm_hit_rate": warm_stats.hit_rate,
+        "warm_executions": float(warm_counters.get("fuzz.executions", 0)),
+    })
+    assert speedup >= MIN_WARM_SPEEDUP, \
+        f"warm screening speedup {speedup:.2f}x < {MIN_WARM_SPEEDUP}x"

@@ -72,7 +72,6 @@ def test_fig11_random_noise_baseline(benchmark, website_dataset,
                      f"{injected:>16.3g} {injected / laplace_counts:>10.2f}x")
     emit("fig11_random_noise", "\n".join(lines))
 
-    accuracies = {b: a for b, a, _ in rows}
     injected = {b: c for b, _, c in rows}
     # Random noise with comparable volume to Laplace defends worse.
     comparable = min(rows, key=lambda r: abs(r[2] - laplace_counts))

@@ -7,7 +7,6 @@ Laplace mechanism needs a smaller epsilon (the sweep extends down to
 the clean-trained attacker of Fig. 9a.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import SLICE_S, WINDOW_S, emit, once

@@ -16,15 +16,19 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import SMOKE, emit, emit_metrics, once
 from repro import telemetry
 from repro.core.fuzzer import EventFuzzer, FuzzingCampaign
 from repro.cpu.events import processor_catalog
 
-BUDGET = 1024
-SHARD_SIZE = 64
+BUDGET = 256 if SMOKE else 1024
+SHARD_SIZE = 32 if SMOKE else 64
 REPEATS = 3
-MAX_ENABLED_OVERHEAD = 0.05
+# A 256-gadget smoke campaign finishes in ~0.4 s, so scheduler noise
+# is a much larger fraction of the measurement than at full scale; the
+# smoke gate bounds the overhead loosely and leaves the tight 5% bar
+# to full-scale runs.
+MAX_ENABLED_OVERHEAD = 0.25 if SMOKE else 0.05
 
 
 def _run_campaign(trace_dir=None, enabled=False):
@@ -78,6 +82,10 @@ def test_telemetry_overhead(benchmark, tmp_path):
         f"{traced_overhead:+9.1%}",
     ]
     emit("telemetry_overhead", "\n".join(lines))
+    emit_metrics("telemetry_overhead", {
+        "memory_overhead": memory_overhead,
+        "traced_overhead": traced_overhead,
+    })
     assert traced_overhead < MAX_ENABLED_OVERHEAD, \
         f"tracing overhead {traced_overhead:.1%} exceeds " \
         f"{MAX_ENABLED_OVERHEAD:.0%}"

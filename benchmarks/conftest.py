@@ -7,10 +7,16 @@ testbed (fewer runs per secret, coarser sampling, sampled gadget
 budgets); the *shape* of each result is what is reproduced.
 
 Set ``REPRO_BENCH_SCALE=full`` for paper-scale class counts (slower).
+Set ``REPRO_BENCH_SMOKE=1`` for the CI regression-gate scale: budgets
+shrink to a size a shared runner finishes in seconds, and each bench
+also emits a machine-readable ``<name>.metrics.json`` that
+``benchmarks/regression_gate.py`` compares against the committed
+``benchmarks/results/baseline.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -22,6 +28,7 @@ from repro.core.obfuscator import estimate_sensitivity
 from repro.workloads import DnnWorkload, KeystrokeWorkload, WebsiteWorkload
 
 FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "") == "full"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 #: Benchmark scale knobs (paper values in comments).
 WFA_SITES = 45 if FULL_SCALE else 10          # paper: 45
@@ -42,6 +49,14 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_metrics(name: str, metrics: dict) -> None:
+    """Persist a bench's scalar metrics for the CI regression gate."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
 
 
 def once(benchmark, fn):

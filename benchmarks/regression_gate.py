@@ -1,0 +1,166 @@
+"""CI benchmark regression gate (stdlib only).
+
+Compares the ``benchmarks/results/*.metrics.json`` files a smoke-mode
+bench run just produced against the committed
+``benchmarks/results/baseline.json`` and exits non-zero on a
+regression. Each baseline entry describes one scalar metric::
+
+    {
+      "campaign_scaling": {
+        "throughput_evals_per_s": {"value": 120000.0,
+                                   "direction": "higher",
+                                   "tolerance": 0.20},
+        "speedup_4_workers": {"value": 3.9, "min": 2.0}
+      }
+    }
+
+Semantics per metric:
+
+- ``direction: higher`` — current may not fall below
+  ``value * (1 - tolerance)`` (throughput-style metrics).
+- ``direction: lower`` — current may not rise above
+  ``value * (1 + tolerance)`` (overhead-style metrics).
+- ``min`` / ``max`` — absolute bounds, checked regardless of
+  direction; use these for hard correctness floors (a cache hit rate
+  of 1.0) or ceilings (zero warm executions) that no tolerance should
+  soften.
+
+Run after the smoke benches::
+
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_campaign_scaling.py \
+        benchmarks/bench_telemetry_overhead.py benchmarks/bench_cache_speedup.py
+    python benchmarks/regression_gate.py
+
+``--update`` rewrites the baseline ``value`` fields from the current
+run (bounds and tolerances are kept) — commit the result when a PR
+intentionally shifts performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "baseline.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_current(results_dir: pathlib.Path) -> dict:
+    """All ``<bench>.metrics.json`` files as {bench: {metric: value}}."""
+    current = {}
+    for path in sorted(results_dir.glob("*.metrics.json")):
+        bench = path.name[:-len(".metrics.json")]
+        current[bench] = json.loads(path.read_text(encoding="utf-8"))
+    return current
+
+
+def check_metric(bench: str, metric: str, spec: dict,
+                 current: "float | None") -> "list[str]":
+    """Failure messages for one metric (empty when it passes)."""
+    label = f"{bench}.{metric}"
+    if current is None:
+        return [f"{label}: missing from current run "
+                f"(bench not executed or emit_metrics dropped it)"]
+    failures = []
+    if "min" in spec and current < spec["min"]:
+        failures.append(f"{label}: {current:g} below hard minimum "
+                        f"{spec['min']:g}")
+    if "max" in spec and current > spec["max"]:
+        failures.append(f"{label}: {current:g} above hard maximum "
+                        f"{spec['max']:g}")
+    direction = spec.get("direction")
+    if direction is not None and "value" in spec:
+        baseline = spec["value"]
+        tolerance = spec.get("tolerance", DEFAULT_TOLERANCE)
+        if direction == "higher":
+            floor = baseline * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    f"{label}: {current:g} regressed below "
+                    f"{floor:g} (baseline {baseline:g} "
+                    f"- {tolerance:.0%})")
+        elif direction == "lower":
+            ceiling = baseline * (1.0 + tolerance)
+            if current > ceiling:
+                failures.append(
+                    f"{label}: {current:g} regressed above "
+                    f"{ceiling:g} (baseline {baseline:g} "
+                    f"+ {tolerance:.0%})")
+        else:
+            failures.append(f"{label}: unknown direction {direction!r}")
+    return failures
+
+
+def run_gate(baseline: dict, current: dict) -> "list[str]":
+    failures = []
+    for bench, metrics in sorted(baseline.items()):
+        bench_current = current.get(bench)
+        for metric, spec in sorted(metrics.items()):
+            value = None if bench_current is None \
+                else bench_current.get(metric)
+            failures.extend(check_metric(bench, metric, spec, value))
+    return failures
+
+
+def update_baseline(baseline: dict, current: dict) -> dict:
+    """New baseline with ``value`` fields refreshed from the run."""
+    updated = {}
+    for bench, metrics in baseline.items():
+        updated[bench] = {}
+        for metric, spec in metrics.items():
+            new_spec = dict(spec)
+            value = current.get(bench, {}).get(metric)
+            if value is not None and "value" in spec:
+                new_spec["value"] = value
+            updated[bench][metric] = new_spec
+    return updated
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE_PATH)
+    parser.add_argument("--results-dir", type=pathlib.Path,
+                        default=RESULTS_DIR)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from this run "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    current = load_current(args.results_dir)
+    if not current:
+        print(f"regression gate: no *.metrics.json under "
+              f"{args.results_dir} — run the smoke benches first",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        updated = update_baseline(baseline, current)
+        args.baseline.write_text(
+            json.dumps(updated, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    failures = run_gate(baseline, current)
+    for bench, metrics in sorted(baseline.items()):
+        for metric in sorted(metrics):
+            value = current.get(bench, {}).get(metric)
+            shown = "missing" if value is None else f"{value:g}"
+            print(f"  {bench}.{metric} = {shown}")
+    if failures:
+        print(f"\nregression gate FAILED ({len(failures)}):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

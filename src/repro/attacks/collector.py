@@ -17,7 +17,7 @@ import numpy as np
 from repro.cpu.events import processor_catalog
 from repro.cpu.interrupts import InterruptSource
 from repro.cpu.signals import Signal
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.rng import ensure_rng
 from repro.vm.perf_event import PerfEventAttr, PerfEventMonitor
 from repro.workloads.base import Workload
 

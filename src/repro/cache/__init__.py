@@ -1,0 +1,64 @@
+"""Content-addressed measurement caching (the screening hot path).
+
+The Event Fuzzer's screening stage and the campaign engine re-execute
+deterministic gadget measurements: for a fixed campaign configuration,
+gadget *i*'s program, microarchitectural start state, and noise stream
+depend only on the campaign entropy and *i*. That makes every
+measurement a pure function of its fingerprint, and pure functions are
+cacheable.
+
+This package provides the cache:
+
+- :mod:`repro.cache.fingerprint` — content-addressed keys over
+  (assembled program bytes, CPU/processor-model config, RNG stream id,
+  repetition count).
+- :mod:`repro.cache.lru` — the in-memory LRU tier.
+- :mod:`repro.cache.store` — the on-disk content-addressed store,
+  written atomically so campaign shards in different worker processes
+  can share one directory.
+- :mod:`repro.cache.cache` — :class:`MeasurementCache`, the two-tier
+  facade that also emits ``cache.hits`` / ``cache.misses`` /
+  ``cache.bytes`` through the telemetry metrics registry.
+- :mod:`repro.cache.runtime` — the process-global active cache, scoped
+  with :func:`repro.cache.runtime.session` exactly like the telemetry
+  runtime.
+
+Correctness bar: a warm-cache run returns bit-identical measurements
+(the cached value round-trips floats exactly), so re-running a
+campaign with a warm cache produces a bit-identical ``FuzzingReport``
+while skipping the ``execute_program`` calls entirely.
+"""
+
+from repro.cache.cache import (
+    DEFAULT_MAX_ENTRIES,
+    CachedMeasurement,
+    CacheStats,
+    MeasurementCache,
+    NoopMeasurementCache,
+)
+from repro.cache.fingerprint import (
+    measurement_key,
+    program_bytes,
+    screening_config_digest,
+)
+from repro.cache.lru import LruCache
+from repro.cache.runtime import active, configure, disable, enabled, session
+from repro.cache.store import DiskStore
+
+__all__ = [
+    "CachedMeasurement",
+    "CacheStats",
+    "DEFAULT_MAX_ENTRIES",
+    "DiskStore",
+    "LruCache",
+    "MeasurementCache",
+    "NoopMeasurementCache",
+    "active",
+    "configure",
+    "disable",
+    "enabled",
+    "measurement_key",
+    "program_bytes",
+    "screening_config_digest",
+    "session",
+]

@@ -1,0 +1,175 @@
+"""The two-tier measurement cache facade.
+
+:class:`MeasurementCache` fronts the in-memory LRU tier and the
+optional on-disk store. Lookups check the LRU first, then the disk
+store (promoting disk hits into the LRU); stores write both tiers.
+Every lookup and store is mirrored into the telemetry metrics registry
+as ``cache.hits`` / ``cache.misses`` / ``cache.bytes`` so hit rates
+appear in ``report --trace`` next to the fuzzing counters, and tracked
+locally in :class:`CacheStats` so library callers don't need telemetry
+enabled to read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.lru import LruCache
+from repro.cache.store import DiskStore
+from repro.telemetry import runtime as telemetry
+
+#: Default in-memory tier capacity. Entries are a few hundred bytes, so
+#: this absorbs several default-sized campaign budgets per process.
+DEFAULT_MAX_ENTRIES = 8192
+
+
+@dataclass(frozen=True)
+class CachedMeasurement:
+    """One cached measurement outcome.
+
+    Floats are stored as plain Python floats (JSON round-trips them
+    exactly), so a warm-cache replay is bit-identical to the original
+    measurement.
+    """
+
+    deltas: tuple
+    signals: tuple
+    cycles: int
+
+    @classmethod
+    def from_measured(cls, measured) -> "CachedMeasurement":
+        """Freeze an :class:`ExecutionHarness` ``MeasuredDelta``."""
+        return cls(deltas=tuple(float(d) for d in np.atleast_1d(
+                       measured.deltas)),
+                   signals=tuple(float(s) for s in measured.signals),
+                   cycles=int(measured.cycles))
+
+    def delta_array(self) -> np.ndarray:
+        return np.asarray(self.deltas, dtype=np.float64)
+
+    def signal_array(self) -> np.ndarray:
+        return np.asarray(self.signals, dtype=np.float64)
+
+    def to_payload(self) -> dict:
+        return {"deltas": list(self.deltas), "signals": list(self.signals),
+                "cycles": self.cycles}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CachedMeasurement":
+        return cls(deltas=tuple(float(d) for d in payload["deltas"]),
+                   signals=tuple(float(s) for s in payload["signals"]),
+                   cycles=int(payload["cycles"]))
+
+
+@dataclass
+class CacheStats:
+    """Local hit/miss accounting (kept even with telemetry disabled)."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stored: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MeasurementCache:
+    """LRU + on-disk content-addressed measurement cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the shared on-disk tier. ``None`` keeps the cache
+        memory-only (still useful for in-process re-measurements, but
+        nothing survives the process or crosses worker boundaries).
+    max_entries:
+        Capacity of the in-memory LRU tier.
+    """
+
+    enabled = True
+
+    def __init__(self, cache_dir: "str | Path | None" = None,
+                 max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lru: LruCache[CachedMeasurement] = LruCache(max_entries)
+        self._store = (DiskStore(self.cache_dir)
+                       if self.cache_dir is not None else None)
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> "CachedMeasurement | None":
+        """Look one measurement up; LRU first, then the disk store."""
+        measurement = self._lru.get(key)
+        if measurement is not None:
+            self.stats.memory_hits += 1
+            return self._hit(measurement)
+        if self._store is not None:
+            payload = self._store.get(key)
+            if payload is not None:
+                try:
+                    measurement = CachedMeasurement.from_payload(payload)
+                except (KeyError, TypeError, ValueError):
+                    measurement = None
+                if measurement is not None:
+                    self._lru.put(key, measurement)
+                    self.stats.disk_hits += 1
+                    return self._hit(measurement)
+        self.stats.misses += 1
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("cache.misses").inc()
+        return None
+
+    def put(self, key: str, measurement: CachedMeasurement) -> None:
+        """Store one measurement in both tiers."""
+        self._lru.put(key, measurement)
+        self.stats.stored += 1
+        written = 0
+        if self._store is not None:
+            written = self._store.put(key, measurement.to_payload())
+            self.stats.bytes_written += written
+        registry = telemetry.metrics()
+        if registry.enabled and written:
+            registry.counter("cache.bytes").inc(written)
+
+    def _hit(self, measurement: CachedMeasurement) -> CachedMeasurement:
+        self.stats.hits += 1
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("cache.hits").inc()
+        return measurement
+
+    def clear_memory(self) -> None:
+        """Drop the LRU tier (the disk store is untouched)."""
+        self._lru.clear()
+
+
+class NoopMeasurementCache:
+    """Disabled cache: every lookup misses silently, stores are dropped."""
+
+    enabled = False
+    cache_dir = None
+    #: Shared empty stats so callers can read hit rates unconditionally.
+    stats = CacheStats()
+
+    def get(self, key: str) -> None:
+        return None
+
+    def put(self, key: str, measurement: CachedMeasurement) -> None:
+        return None
+
+    def clear_memory(self) -> None:
+        return None
+
+
+NOOP_CACHE = NoopMeasurementCache()

@@ -1,0 +1,95 @@
+"""Content-addressed fingerprints for cached measurements.
+
+A measurement is reusable only when *everything* that can change its
+outcome is part of the key:
+
+- the **assembled program bytes** — the placed instruction sequence the
+  core actually executes, including addresses, memory operands, and
+  branch directions;
+- the **CPU / processor-model configuration** — event catalog, ISA
+  microarchitecture profile, harness unroll, grammar geometry, and the
+  event indices being measured;
+- the **RNG stream id** — the ``(entropy, spawn_key)`` identity of the
+  per-gadget noise stream (the stream that drew the gadget and feeds
+  the counter-noise model);
+- the **repetition count** — how many (reset + trigger) iterations one
+  measurement executes.
+
+Keys are hex SHA-256 digests, so the on-disk store is content-addressed
+and collision-free for practical purposes; changing any component of
+the configuration changes every key, which is how stale cache entries
+are invalidated without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.fuzzer.campaign import ShardConfig
+    from repro.isa.spec import Program
+
+
+def program_bytes(program: "Program") -> bytes:
+    """Canonical byte serialization of a placed program.
+
+    One line per placed instruction carrying the catalog variant name
+    plus every placement field that affects execution (code address,
+    memory operand, branch direction, branch target). Two programs
+    serialize identically iff the core executes them identically.
+    """
+    lines = [
+        f"{ins.spec.name}|{ins.address:x}|{ins.mem_operand:x}"
+        f"|{int(ins.taken)}|{ins.target:x}"
+        for ins in program.instructions
+    ]
+    return "\n".join(lines).encode("utf-8")
+
+
+def config_digest(fields: dict) -> str:
+    """Short stable digest of a plain-type configuration mapping."""
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def screening_config_digest(config: "ShardConfig") -> str:
+    """The CPU/measurement configuration component of screening keys.
+
+    Covers everything that shapes a screening measurement's outcome:
+    the processor model (event catalog + noise model), the microarch
+    profile (legal instruction list), harness unroll, grammar geometry,
+    and the measured event indices. Deliberately excludes the screening
+    thresholds (they only gate *acceptance* of a delta, never its
+    value) and the budget/shard partition (measurements are partition
+    invariant), so a warm cache keeps hitting when those change.
+    """
+    return config_digest({
+        "processor_model": config.processor_model,
+        "microarch": config.microarch,
+        "unroll": config.unroll,
+        "sequence_length": config.sequence_length,
+        "empty_reset_prob": config.empty_reset_prob,
+        "event_indices": list(config.event_indices),
+    })
+
+
+def measurement_key(program_data: bytes, config: str,
+                    stream_id: Iterable[int], repeats: int) -> str:
+    """Content-addressed key of one measurement.
+
+    ``stream_id`` identifies the RNG stream the measurement consumes —
+    for campaign screening that is ``(entropy, gadget_index)``, the
+    ``SeedSequence`` identity of the per-gadget stream.
+    """
+    digest = hashlib.sha256()
+    digest.update(program_data)
+    digest.update(b"\x00")
+    digest.update(config.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(",".join(str(int(part)) for part in stream_id)
+                  .encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(str(int(repeats)).encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,49 @@
+"""The in-memory LRU tier of the measurement cache.
+
+A thin ordered-dict LRU: ``get`` promotes to most-recent, ``put``
+evicts the least-recent entry past capacity. Entries are small frozen
+measurement records, so the default capacity costs a few megabytes at
+most while absorbing the repeat lookups of warm in-process re-runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+class LruCache(Generic[V]):
+    """Least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> "V | None":
+        """Return the cached value (promoting it) or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh an entry, evicting the oldest past capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

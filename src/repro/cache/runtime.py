@@ -1,0 +1,68 @@
+"""Process-global measurement-cache runtime.
+
+Mirrors :mod:`repro.telemetry.runtime`: hot-path code never owns a
+cache, it asks this module for the process-global one
+(:func:`active`). Until :func:`configure` is called the accessor hands
+back a shared no-op cache, so the disabled path costs one function
+call and an attribute read.
+
+:func:`session` scopes a configuration: the CLI opens one around a
+``fuzz``/``profile``/``deploy`` command, and campaign worker processes
+open one per shard batch when the parent hands them a ``cache_dir`` —
+the on-disk tier is shared across every process pointing at the same
+directory (writes are atomic and idempotent), which is what lets shard
+N's measurements warm shard M's re-run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.cache.cache import (
+    DEFAULT_MAX_ENTRIES,
+    NOOP_CACHE,
+    MeasurementCache,
+    NoopMeasurementCache,
+)
+
+_active: "MeasurementCache | NoopMeasurementCache" = NOOP_CACHE
+
+
+def configure(cache_dir: "str | Path | None" = None,
+              max_entries: int = DEFAULT_MAX_ENTRIES) -> MeasurementCache:
+    """Install a live cache; returns it.
+
+    ``cache_dir=None`` keeps the cache memory-only; with a directory
+    the on-disk tier persists across runs and processes.
+    """
+    global _active
+    _active = MeasurementCache(cache_dir=cache_dir, max_entries=max_entries)
+    return _active
+
+
+def disable() -> None:
+    """Restore the no-op cache."""
+    global _active
+    _active = NOOP_CACHE
+
+
+def enabled() -> bool:
+    return _active is not NOOP_CACHE
+
+
+def active() -> "MeasurementCache | NoopMeasurementCache":
+    return _active
+
+
+@contextmanager
+def session(cache_dir: "str | Path | None" = None,
+            max_entries: int = DEFAULT_MAX_ENTRIES):
+    """Scoped cache: configure, yield, restore the previous one."""
+    global _active
+    previous = _active
+    cache = configure(cache_dir=cache_dir, max_entries=max_entries)
+    try:
+        yield cache
+    finally:
+        _active = previous

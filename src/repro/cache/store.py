@@ -1,0 +1,60 @@
+"""The on-disk content-addressed store of the measurement cache.
+
+Layout mirrors git's object store: ``<root>/objects/<key[:2]>/<key>.json``.
+Writes go through a temp file + ``os.replace`` so concurrent campaign
+shards (worker processes sharing one ``--cache-dir``) never observe a
+torn entry — the worst race is two workers writing the same key, which
+is idempotent because the content *is* the address.
+
+Anything unreadable (missing file, truncated JSON, wrong schema
+version) reads as a miss; the caller simply re-measures, which is
+always safe because measurements are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: On-disk entry schema version; bump to invalidate every stored entry.
+STORE_VERSION = 1
+
+
+class DiskStore:
+    """Content-addressed JSON entries under one cache directory."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "dict | None":
+        """Load one entry, or ``None`` when missing/corrupt/stale."""
+        try:
+            payload = json.loads(
+                self.path_for(key).read_text(encoding="utf-8"))
+            if (payload.get("version") != STORE_VERSION
+                    or payload.get("key") != key):
+                return None
+            return payload
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> int:
+        """Atomically persist one entry; returns the bytes written."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps({"version": STORE_VERSION, "key": key, **payload},
+                          separators=(",", ":"))
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        return len(body)
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))

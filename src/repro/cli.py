@@ -14,7 +14,10 @@ Every command accepts ``--seed`` for reproducibility; human-readable
 summaries go through the ``repro`` logger to stdout (``-v`` for
 shard-level progress, ``-q`` to silence summaries). ``--trace-dir``
 exports a merged span trace + metrics snapshot; ``--metrics`` logs the
-metrics snapshot after the command.
+metrics snapshot after the command. ``fuzz``/``profile``/``deploy``
+keep an in-memory measurement cache per run; ``--cache-dir`` persists
+it on disk (warm re-runs replay measurements bit for bit) and
+``--no-cache`` turns it off.
 """
 
 from __future__ import annotations
@@ -68,6 +71,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     _add_logging(parser)
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default="",
+                        help="directory for the shared on-disk "
+                             "measurement cache (persists across runs "
+                             "and shard workers; re-runs replay cached "
+                             "measurements bit for bit)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the measurement cache entirely "
+                             "(default: in-memory cache for this run)")
+
+
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-dir", default="",
                         help="directory for span traces + metrics "
@@ -115,7 +129,8 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
         raise SystemExit("--resume requires --checkpoint-dir")
     return {"workers": args.workers,
             "checkpoint_dir": args.checkpoint_dir or None,
-            "resume": args.resume}
+            "resume": args.resume,
+            "cache_dir": getattr(args, "cache_dir", "") or None}
 
 
 def _log_metrics_snapshot(snapshot: dict) -> None:
@@ -130,6 +145,35 @@ def _log_metrics_snapshot(snapshot: dict) -> None:
         _say(f"  {name} = {counters[name]:g}")
     for name in sorted(gauges):
         _say(f"  {name} = {gauges[name]:g}")
+
+
+@contextlib.contextmanager
+def _cache_scope(args: argparse.Namespace):
+    """Activate the measurement cache for one command.
+
+    Default is a per-run in-memory cache; ``--cache-dir`` adds the
+    shared on-disk tier, ``--no-cache`` goes without one entirely.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = bool(getattr(args, "no_cache", False))
+    if cache_dir is None and not no_cache:
+        # Command has no cache flags (attack/report): nothing to scope.
+        yield
+        return
+    if no_cache:
+        if cache_dir:
+            raise SystemExit("--no-cache conflicts with --cache-dir")
+        yield
+        return
+    from repro.cache import runtime as cache_runtime
+    with cache_runtime.session(cache_dir=cache_dir or None) as cache:
+        yield
+        stats = cache.stats
+        if stats.lookups:
+            _say(f"measurement cache: {stats.hits}/{stats.lookups} hits "
+                 f"({stats.hit_rate:.1%}), {stats.stored} stored"
+                 + (f", {stats.bytes_written:,} bytes to {cache_dir}"
+                    if cache_dir else ""))
 
 
 @contextlib.contextmanager
@@ -331,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profiling runs per secret")
     p.add_argument("--top", type=int, default=8,
                    help="vulnerable events to print")
+    _add_cache_options(p)
     _add_telemetry_options(p)
     p.set_defaults(func=cmd_profile)
 
@@ -341,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=0,
                    help="limit fuzzed events (0 = all guest-sensitive)")
     _add_campaign_options(p)
+    _add_cache_options(p)
     _add_telemetry_options(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -357,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=1000)
     p.add_argument("-o", "--output", default="aegis-artifact.json")
     _add_campaign_options(p)
+    _add_cache_options(p)
     _add_telemetry_options(p)
     p.set_defaults(func=cmd_deploy)
 
@@ -400,7 +447,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     configure_cli_logging(verbose=getattr(args, "verbose", 0),
                           quiet=getattr(args, "quiet", False))
-    with _telemetry_scope(args):
+    with _telemetry_scope(args), _cache_scope(args):
         return args.func(args)
 
 

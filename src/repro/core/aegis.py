@@ -52,11 +52,12 @@ class Aegis:
         Cloud host processor family (from the attestation report).
     mechanism / epsilon:
         Online DP mechanism and privacy budget.
-    workers / shard_size / checkpoint_dir / resume:
+    workers / shard_size / checkpoint_dir / resume / cache_dir:
         Fuzzing-campaign execution knobs, forwarded to
         :class:`FuzzingCampaign`. They change how the screening budget
-        is scheduled (parallel workers, checkpoint artifacts), never
-        the resulting covering set for a fixed seed.
+        is scheduled (parallel workers, checkpoint artifacts, the
+        shared measurement cache), never the resulting covering set for
+        a fixed seed.
     """
 
     def __init__(self, workload: Workload,
@@ -66,6 +67,7 @@ class Aegis:
                  mi_threshold_bits: float = 0.1, workers: int = 1,
                  shard_size: int | None = None,
                  checkpoint_dir: str | None = None, resume: bool = False,
+                 cache_dir: str | None = None,
                  rng: "int | np.random.Generator | None" = None) -> None:
         root = ensure_rng(rng)
         self._prof_rng, self._fuzz_rng, self._obf_rng, self._sens_rng = \
@@ -81,6 +83,7 @@ class Aegis:
         self.shard_size = shard_size
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.cache_dir = cache_dir
 
     # -- offline stage ---------------------------------------------------
 
@@ -107,7 +110,8 @@ class Aegis:
                              rng=self._fuzz_rng, **kwargs)
         campaign = FuzzingCampaign(fuzzer, workers=self.workers,
                                    checkpoint_dir=self.checkpoint_dir,
-                                   resume=self.resume)
+                                   resume=self.resume,
+                                   cache_dir=self.cache_dir)
         return campaign.run(vulnerable)
 
     def _covering_segment(self, fuzzing_report: FuzzingReport) -> np.ndarray:

@@ -32,12 +32,20 @@ import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
+from repro.cache import runtime as cache_runtime
+from repro.cache.cache import CachedMeasurement
+from repro.cache.fingerprint import (
+    measurement_key,
+    program_bytes,
+    screening_config_digest,
+)
 from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
 from repro.core.fuzzer.generator import ExecutionHarness
 from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
@@ -179,9 +187,19 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
     Each gadget is sampled, measured, and thresholded under its own RNG
     stream from a reset-then-warmed core, so the result is identical no
     matter which process runs the shard or what ran before it.
+
+    When a measurement cache is active (:mod:`repro.cache.runtime`),
+    each gadget's program is assembled and fingerprinted first — a hit
+    replays the stored deltas bit for bit and skips the
+    ``execute_program`` call entirely, a miss measures and stores. The
+    key covers (program bytes, measurement config, per-gadget RNG
+    stream id, repetition count), so any configuration change misses
+    cleanly instead of replaying stale data.
     """
     wall = time.perf_counter()
     cpu = time.process_time()
+    cache = cache_runtime.active()
+    config_digest = screening_config_digest(config) if cache.enabled else ""
     with telemetry.tracer().span("fuzz.screen_shard", shard=shard.index,
                                  start=shard.start, count=shard.count):
         legal = default_cleanup(config.microarch).legal
@@ -201,10 +219,25 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
             core.reset_microarch_state()
             harness.warm_measurement_state()
             harness.set_rng(stream)
-            measured = harness.measure_gadget(gadget, events)
-            for j in np.flatnonzero(measured.deltas > thresholds):
+            if cache.enabled:
+                program = harness.build_program(
+                    list(gadget.reset) + list(gadget.trigger),
+                    repeats=config.unroll)
+                key = measurement_key(
+                    program_bytes(program), config_digest,
+                    (config.entropy, gadget_index), config.unroll)
+                cached = cache.get(key)
+                if cached is not None:
+                    deltas = cached.delta_array()
+                else:
+                    measured = harness.measure_program(program, events)
+                    deltas = measured.deltas
+                    cache.put(key, CachedMeasurement.from_measured(measured))
+            else:
+                deltas = harness.measure_gadget(gadget, events).deltas
+            for j in np.flatnonzero(deltas > thresholds):
                 screened[int(events[j])].append(
-                    (gadget_index, float(measured.deltas[j])))
+                    (gadget_index, float(deltas[j])))
                 candidates += 1
     registry = telemetry.metrics()
     if registry.enabled:
@@ -219,19 +252,29 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
 
 
 def screen_shard_traced(config: ShardConfig, shard: ShardSpec,
-                        trace_dir: "str | None" = None) -> ShardResult:
+                        trace_dir: "str | None" = None,
+                        cache_dir: "str | None" = None) -> ShardResult:
     """Screen one shard under an isolated per-shard telemetry session.
 
     With a ``trace_dir``, the shard's spans and metrics land in
     ``trace-shard-NNNNN.jsonl`` / ``metrics-shard-NNNNN.json`` — the
     same files whether the shard runs in-process or on a pool worker —
     so the parent's deterministic merge is invariant to worker count.
+
+    With a ``cache_dir``, a measurement-cache session is opened around
+    the shard when the process has none active yet (pool workers under
+    the spawn start method, or a campaign given an explicit directory):
+    every worker's on-disk tier points at the same store, so shards
+    warm each other across processes and runs.
     """
-    if trace_dir is None:
-        return screen_shard(config, shard)
-    with telemetry.session(trace_dir=trace_dir,
-                           process=f"shard-{shard.index:05d}"):
-        return screen_shard(config, shard)
+    needs_cache = cache_dir is not None and not cache_runtime.enabled()
+    with (cache_runtime.session(cache_dir=cache_dir) if needs_cache
+          else nullcontext()):
+        if trace_dir is None:
+            return screen_shard(config, shard)
+        with telemetry.session(trace_dir=trace_dir,
+                               process=f"shard-{shard.index:05d}"):
+            return screen_shard(config, shard)
 
 
 def merge_screened(results: Iterable[ShardResult]
@@ -402,6 +445,14 @@ class FuzzingCampaign:
     resume:
         Load valid shard checkpoints from ``checkpoint_dir`` instead of
         re-screening them. Requires ``checkpoint_dir``.
+    cache_dir:
+        Directory for the shared on-disk measurement cache. Worker
+        processes open a cache session against it per shard, so the
+        cache survives resume and is shared across shards, workers, and
+        repeated campaigns; a changed measurement configuration changes
+        every cache key and therefore invalidates cleanly. ``None``
+        falls back to the process-global cache runtime (which the CLI
+        configures from ``--cache-dir``).
     shard_hook:
         Optional callback invoked with each freshly screened
         :class:`ShardResult` (after it is checkpointed) — progress
@@ -411,6 +462,7 @@ class FuzzingCampaign:
     def __init__(self, fuzzer: "EventFuzzer", workers: int = 1,
                  checkpoint_dir: "str | Path | None" = None,
                  resume: bool = False,
+                 cache_dir: "str | Path | None" = None,
                  shard_hook: "Callable[[ShardResult], None] | None" = None
                  ) -> None:
         if workers < 1:
@@ -422,8 +474,23 @@ class FuzzingCampaign:
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.resume = resume
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.shard_hook = shard_hook
         self.stats = CampaignStats()
+
+    def _shard_cache_dir(self) -> "str | None":
+        """The on-disk cache directory shards should attach to.
+
+        An explicit ``cache_dir`` wins; otherwise an active process
+        cache with a disk tier is forwarded so pool workers (which may
+        not inherit it under the spawn start method) share the store.
+        """
+        if self.cache_dir is not None:
+            return str(self.cache_dir)
+        active = cache_runtime.active()
+        if active.enabled and active.cache_dir is not None:
+            return str(active.cache_dir)
+        return None
 
     def run(self, event_indices: "np.ndarray | list[int]") -> "FuzzingReport":
         """Screen all shards (parallel, resumable), then confirm/filter.
@@ -441,6 +508,7 @@ class FuzzingCampaign:
         tracer = telemetry.tracer()
         trace_dir = telemetry.trace_dir()
         shard_trace_dir = str(trace_dir) if trace_dir is not None else None
+        shard_cache_dir = self._shard_cache_dir()
 
         start = time.perf_counter()
         with tracer.span("fuzz.cleanup"):
@@ -477,13 +545,15 @@ class FuzzingCampaign:
             if self.workers == 1 or len(pending) <= 1:
                 for shard in pending:
                     self._complete(
-                        screen_shard_traced(config, shard, shard_trace_dir),
+                        screen_shard_traced(config, shard, shard_trace_dir,
+                                            shard_cache_dir),
                         fingerprint, results)
             else:
                 workers = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {pool.submit(screen_shard_traced, config,
-                                           shard, shard_trace_dir)
+                                           shard, shard_trace_dir,
+                                           shard_cache_dir)
                                for shard in pending}
                     try:
                         while futures:

@@ -10,7 +10,7 @@ and leaves longer sequences as future work — both are supported here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -39,6 +39,8 @@ __all__ = [
     "RandomNoiseInjector",
     "SecretTiedNoise",
     "UserspaceDaemon",
+    "default_noise_components",
+    "default_noise_segment",
     "estimate_sensitivity",
     "laplace_sample",
 ]

@@ -110,15 +110,21 @@ class WarmupProfiler:
         """
         secret = secret if secret is not None else self.workload.secrets[-1]
         num_events = len(self.catalog)
-        passes = np.zeros(num_events, dtype=int)
         tracer = telemetry.tracer()
         repetition_counter = telemetry.metrics().counter(
             "profile.warmup_repetitions")
+        # The repetitions are submitted as one batch: each draws its
+        # active/idle measurement pair in repetition order (so the RNG
+        # stream is consumed exactly as a one-at-a-time loop would),
+        # then the pass/fail screen runs vectorized over the whole
+        # (repetitions, events) matrix instead of per repetition.
+        batch = np.empty((self.repetitions, 2, num_events))
         for repetition in range(self.repetitions):
             with tracer.span("profile.warmup_pass",
                              repetition=repetition):
-                self._warmup_pass(secret, passes)
+                batch[repetition] = self._measure_pass(secret)
             repetition_counter.inc()
+        passes = self._screen_batch(batch)
         surviving = np.flatnonzero(passes == self.repetitions)
         # Paper's T_W = (M * t_w * 2) / C counts one active/idle pass;
         # the repetitions reuse the same measurements for confirmation.
@@ -133,16 +139,26 @@ class WarmupProfiler:
             repetitions=self.repetitions, simulated_seconds=simulated,
             type_histogram_before=before, type_histogram_after=after)
 
-    def _warmup_pass(self, secret, passes: np.ndarray) -> None:
-        """One active-vs-idle comparison over every catalog event."""
+    def _measure_pass(self, secret) -> np.ndarray:
+        """One active/idle measurement pair, shape ``(2, events)``."""
         active = self._active_signals(secret, self._rng)
         idle = self._idle_signals(self._rng)
         noisy_active = self.catalog.counts_for(active, rng=self._rng)
         noisy_idle = self.catalog.counts_for(idle, rng=self._rng)
+        return np.stack([noisy_active, noisy_idle])
+
+    def _screen_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorized pass counts for a ``(R, 2, events)`` batch.
+
+        Elementwise over the batch axis, so the result is identical to
+        screening each repetition on its own.
+        """
+        noisy_active = batch[:, 0, :]
+        noisy_idle = batch[:, 1, :]
         # Noise scale of the difference of two measurements.
         sigma = (self.catalog.noise_rel * np.maximum(noisy_active,
                                                      noisy_idle)
                  + self.catalog.noise_abs) * np.sqrt(2.0)
         changed = np.abs(noisy_active - noisy_idle) \
             > self.threshold_sigmas * sigma
-        passes += changed
+        return changed.sum(axis=0)

@@ -148,6 +148,21 @@ class Core:
         return ExecutionResult(signals=signals, cycles=cycles,
                                rdpmc_values=rdpmc_values)
 
+    def execute_batch(self, programs: "list[Program]",
+                      update_hpc: bool = True) -> list[ExecutionResult]:
+        """Execute a batch of programs back to back, one result each.
+
+        The batch is a single submission of sequential executions:
+        microarchitectural state deliberately carries over from one
+        program to the next, exactly as if the caller had looped over
+        :meth:`execute_program` itself. Measurement loops (confirmation
+        repetitions, warm-up passes) submit their repetition batch in
+        one call instead of re-entering the measurement path per
+        iteration.
+        """
+        return [self.execute_program(program, update_hpc=update_hpc)
+                for program in programs]
+
     def _charge_memory_stalls(self, signals: np.ndarray) -> int:
         """Stall cycles implied by the most recent access outcome."""
         outcome = self._last_outcome

@@ -8,7 +8,7 @@ subsystem to time-multiplex larger sets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

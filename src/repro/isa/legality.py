@@ -20,7 +20,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.isa.catalog import IsaCatalog
-from repro.isa.spec import Extension, FaultKind, InstructionClass, InstructionSpec
+from repro.isa.spec import Extension, FaultKind, InstructionSpec
 
 #: Extensions implemented by the simulated Intel-family processors.
 INTEL_EXTENSIONS: frozenset[Extension] = frozenset(

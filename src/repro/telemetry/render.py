@@ -44,6 +44,21 @@ def render_run(run: RunTelemetry) -> str:
         lines.append("")
 
     counters = run.metrics.get("counters", {})
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    lookups = hits + misses
+    if lookups:
+        lines.append("## Measurement cache")
+        lines.append(f"{hits:,.0f}/{lookups:,.0f} lookups hit "
+                     f"({hits / lookups:.1%}); "
+                     f"{counters.get('cache.bytes', 0):,.0f} bytes "
+                     f"written to the disk tier")
+        executions = counters.get("fuzz.executions")
+        if executions is not None:
+            lines.append(f"screening executions actually run: "
+                         f"{executions:,.0f}")
+        lines.append("")
+
     interesting = {name: value for name, value in counters.items()
                    if not name.startswith("privacy.")}
     if interesting:

@@ -9,7 +9,7 @@ and the encrypted guest memory the hypervisor cannot read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,8 +9,6 @@ attack surface of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.cpu.signals import Signal, zero_signals

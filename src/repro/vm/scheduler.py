@@ -12,7 +12,7 @@ separate them onto different cores).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

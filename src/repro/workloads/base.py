@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.cpu.core import ActivityBlock
-from repro.cpu.signals import NUM_SIGNALS, Signal, zero_signals
+from repro.cpu.signals import Signal, zero_signals
 from repro.utils.rng import ensure_rng
 
 

@@ -1,5 +1,7 @@
 """Shared fixtures: cached catalogs and small deterministic objects."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,34 @@ from repro.core.fuzzer import EventFuzzer
 from repro.cpu.core import Core
 from repro.cpu.events import processor_catalog
 from repro.isa.catalog import build_catalog, shared_catalog
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_telemetry():
+    """Export session telemetry when ``REPRO_TEST_TRACE_DIR`` is set.
+
+    CI points this at a scratch directory and uploads it as an
+    artifact when a job fails, so a red run ships its span traces and
+    metrics for post-mortems. Tests that open their own telemetry
+    sessions nest inside (and restore) this one, and each xdist worker
+    writes its own ``trace-<worker>.jsonl``, so the export is safe
+    under ``-n auto``. Without the variable this is a no-op.
+    """
+    trace_dir = os.environ.get("REPRO_TEST_TRACE_DIR", "")
+    if not trace_dir:
+        yield
+        return
+    from repro.telemetry import runtime as telemetry
+    worker = os.environ.get("PYTEST_XDIST_WORKER", "main")
+    runtime = telemetry.configure(trace_dir=trace_dir, process=worker)
+    try:
+        yield
+    finally:
+        # Flush the runtime we created even if a test left a different
+        # one installed (sessions restore, but a crashed test might
+        # not have).
+        runtime.flush()
+        telemetry.disable()
 
 
 @pytest.fixture(scope="session")

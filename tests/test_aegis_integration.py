@@ -5,7 +5,6 @@ headline property: the deployed obfuscator collapses the attack to near
 random guessing while the undefended attack succeeds.
 """
 
-import numpy as np
 import pytest
 
 from repro.attacks import TraceCollector, WebsiteFingerprintingAttack

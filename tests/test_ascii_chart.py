@@ -1,6 +1,5 @@
 """Tests for the ASCII chart helpers."""
 
-import pytest
 
 from repro.analysis.ascii_chart import bar_chart, sparkline
 

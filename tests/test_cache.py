@@ -1,0 +1,276 @@
+"""Tests for the content-addressed measurement cache.
+
+Covers the three layers separately — fingerprints, LRU tier, disk
+store — then the facade's hit/miss accounting and telemetry mirroring,
+and finally the campaign-level guarantees the cache is sold on: a warm
+re-run produces a bit-identical report with zero gadget executions,
+configuration changes invalidate cleanly, threshold changes do not,
+and the disk tier is shared across cache sessions (and therefore
+across shard worker processes).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import runtime as cache_runtime
+from repro.cache.cache import (
+    CachedMeasurement,
+    MeasurementCache,
+    NoopMeasurementCache,
+)
+from repro.cache.fingerprint import (
+    measurement_key,
+    program_bytes,
+    screening_config_digest,
+)
+from repro.cache.lru import LruCache
+from repro.cache.store import STORE_VERSION, DiskStore
+from repro.core.fuzzer.campaign import plan_shards, screen_shard
+from repro.core.fuzzer.generator import ExecutionHarness, MeasuredDelta
+from repro.cpu.core import Core
+from repro.telemetry import runtime as telemetry
+from tests.test_campaign import report_key
+
+
+@pytest.fixture()
+def harness():
+    return ExecutionHarness(Core("amd-epyc-7252", rng=0), unroll=4, rng=0)
+
+
+@pytest.fixture(scope="module")
+def shard_setup(make_fuzzer, fuzz_events):
+    """A small fuzzer plus its plain-type screening config and shards."""
+    fuzzer = make_fuzzer(gadget_budget=40, shard_size=20)
+    events = np.array(fuzz_events)
+    config = fuzzer.shard_config(events)
+    return config, plan_shards(40, 20)
+
+
+class TestFingerprint:
+    def test_program_bytes_deterministic(self, harness, shared_isa):
+        body = [shared_isa.get("CPUID")]
+        one = program_bytes(harness.build_program(body, repeats=2))
+        two = program_bytes(harness.build_program(body, repeats=2))
+        assert one == two
+
+    def test_program_bytes_distinguish_repeats(self, harness, shared_isa):
+        body = [shared_isa.get("CPUID")]
+        assert program_bytes(harness.build_program(body, repeats=1)) \
+            != program_bytes(harness.build_program(body, repeats=2))
+
+    def test_measurement_key_components(self):
+        base = measurement_key(b"prog", "cfg", (7, 3), 16)
+        assert base == measurement_key(b"prog", "cfg", (7, 3), 16)
+        assert base != measurement_key(b"prog2", "cfg", (7, 3), 16)
+        assert base != measurement_key(b"prog", "cfg2", (7, 3), 16)
+        assert base != measurement_key(b"prog", "cfg", (7, 4), 16)
+        assert base != measurement_key(b"prog", "cfg", (7, 3), 8)
+
+    def test_config_digest_ignores_thresholds(self, shard_setup):
+        config, _ = shard_setup
+        relaxed = dataclasses.replace(
+            config, thresholds=tuple(t / 2 for t in config.thresholds))
+        assert screening_config_digest(relaxed) \
+            == screening_config_digest(config)
+
+    def test_config_digest_tracks_measurement_config(self, shard_setup):
+        config, _ = shard_setup
+        digest = screening_config_digest(config)
+        for change in ({"unroll": config.unroll + 1},
+                       {"processor_model": "intel-xeon-e5-1650"},
+                       {"event_indices": config.event_indices[:-1]}):
+            changed = dataclasses.replace(config, **change)
+            assert screening_config_digest(changed) != digest
+
+
+class TestLruCache:
+    def test_put_get_and_eviction_order(self):
+        lru = LruCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # promotes "a" over "b"
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        assert lru.evictions == 1
+
+    def test_clear(self):
+        lru = LruCache(max_entries=4)
+        lru.put("a", 1)
+        lru.clear()
+        assert len(lru) == 0 and lru.get("a") is None
+
+
+class TestDiskStore:
+    KEY = "ab" + "0" * 62
+
+    def test_roundtrip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        written = store.put(self.KEY, {"deltas": [1.5], "cycles": 3})
+        assert written > 0
+        loaded = store.get(self.KEY)
+        assert loaded["deltas"] == [1.5] and loaded["cycles"] == 3
+        assert loaded["version"] == STORE_VERSION
+        assert loaded["key"] == self.KEY
+        assert len(store) == 1
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_missing_key(self, tmp_path):
+        assert DiskStore(tmp_path).get(self.KEY) is None
+
+    def test_corrupt_file(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(self.KEY, {"cycles": 1})
+        store.path_for(self.KEY).write_text("{not json",
+                                            encoding="utf-8")
+        assert store.get(self.KEY) is None
+
+    def test_version_and_key_mismatch(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(self.KEY, {"cycles": 1})
+        path = store.path_for(self.KEY)
+        stale = json.loads(path.read_text(encoding="utf-8"))
+        stale["version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(stale), encoding="utf-8")
+        assert store.get(self.KEY) is None
+        stale["version"] = STORE_VERSION
+        stale["key"] = "f" * 64
+        path.write_text(json.dumps(stale), encoding="utf-8")
+        assert store.get(self.KEY) is None
+
+
+def _measurement(value=2.5):
+    return CachedMeasurement.from_measured(MeasuredDelta(
+        deltas=np.array([value]), signals=np.array([1.0, 0.5]), cycles=7))
+
+
+class TestMeasurementCache:
+    def test_tier_accounting(self, tmp_path):
+        cache = MeasurementCache(cache_dir=tmp_path)
+        key = "cd" + "1" * 62
+        assert cache.get(key) is None
+        cache.put(key, _measurement())
+        assert cache.get(key).deltas == (2.5,)
+        cache.clear_memory()
+        disk_hit = cache.get(key)
+        assert disk_hit.deltas == (2.5,)
+        assert cache.get(key) is not None  # promoted back into the LRU
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (3, 1)
+        assert (stats.memory_hits, stats.disk_hits) == (2, 1)
+        assert stats.stored == 1 and stats.bytes_written > 0
+        assert stats.hit_rate == 0.75
+
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        cache = MeasurementCache(cache_dir=tmp_path)
+        key = "ef" + "2" * 62
+        original = CachedMeasurement.from_measured(MeasuredDelta(
+            deltas=np.array([1.0 / 3.0, 1e-17]),
+            signals=np.array([np.pi]), cycles=11))
+        cache.put(key, original)
+        cache.clear_memory()
+        assert cache.get(key) == original
+
+    def test_telemetry_counters(self, tmp_path):
+        with telemetry.session() as runtime:
+            cache = MeasurementCache(cache_dir=tmp_path)
+            key = "aa" + "3" * 62
+            cache.get(key)
+            cache.put(key, _measurement())
+            cache.get(key)
+            counters = runtime.metrics.snapshot()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        assert counters["cache.bytes"] == cache.stats.bytes_written
+
+    def test_noop_cache(self):
+        cache = NoopMeasurementCache()
+        cache.put("k", _measurement())
+        assert cache.get("k") is None
+        assert not cache.enabled and cache.stats.lookups == 0
+
+
+class TestRuntime:
+    def test_session_installs_and_restores(self, tmp_path):
+        assert not cache_runtime.enabled()
+        with cache_runtime.session(cache_dir=tmp_path) as cache:
+            assert cache_runtime.enabled()
+            assert cache_runtime.active() is cache
+            assert cache.cache_dir == tmp_path
+        assert not cache_runtime.enabled()
+
+    def test_sessions_nest(self):
+        with cache_runtime.session() as outer:
+            with cache_runtime.session() as inner:
+                assert cache_runtime.active() is inner
+            assert cache_runtime.active() is outer
+
+
+class TestCampaignCaching:
+    def test_warm_rerun_is_bit_identical_with_zero_executions(
+            self, make_fuzzer, fuzz_events, tmp_path):
+        events = np.array(fuzz_events)
+        budget = 80
+
+        def run():
+            fuzzer = make_fuzzer(gadget_budget=budget, shard_size=20)
+            with telemetry.session() as runtime:
+                report = fuzzer.fuzz(events)
+                counters = runtime.metrics.snapshot()["counters"]
+            return report, counters
+
+        with cache_runtime.session(cache_dir=tmp_path) as cold_cache:
+            cold_report, _ = run()
+            assert cold_cache.stats.misses == budget
+            assert cold_cache.stats.hits == 0
+        with cache_runtime.session(cache_dir=tmp_path) as warm_cache:
+            warm_report, warm_counters = run()
+            assert warm_cache.stats.hits == budget
+            assert warm_cache.stats.misses == 0
+        assert warm_counters["fuzz.executions"] == 0
+        assert report_key(warm_report) == report_key(cold_report)
+
+    def test_cached_report_matches_uncached(self, make_fuzzer,
+                                            fuzz_events):
+        events = np.array(fuzz_events)
+        plain = make_fuzzer(gadget_budget=80, shard_size=20).fuzz(events)
+        with cache_runtime.session():
+            cached = make_fuzzer(gadget_budget=80,
+                                 shard_size=20).fuzz(events)
+        assert report_key(cached) == report_key(plain)
+
+    def test_config_change_invalidates(self, shard_setup, tmp_path):
+        config, shards = shard_setup
+        with cache_runtime.session(cache_dir=tmp_path) as cache:
+            screen_shard(config, shards[0])
+            assert cache.stats.misses == shards[0].count
+            retuned = dataclasses.replace(config,
+                                          unroll=config.unroll + 1)
+            screen_shard(retuned, shards[0])
+            assert cache.stats.hits == 0
+            assert cache.stats.misses == 2 * shards[0].count
+
+    def test_threshold_change_keeps_hitting(self, shard_setup, tmp_path):
+        config, shards = shard_setup
+        with cache_runtime.session(cache_dir=tmp_path) as cache:
+            screen_shard(config, shards[0])
+            relaxed = dataclasses.replace(
+                config, thresholds=tuple(t / 2 for t in config.thresholds))
+            screen_shard(relaxed, shards[0])
+            assert cache.stats.hits == shards[0].count
+
+    def test_disk_tier_shared_across_sessions(self, shard_setup,
+                                              tmp_path):
+        """What lets shard workers warm each other across processes."""
+        config, shards = shard_setup
+        with cache_runtime.session(cache_dir=tmp_path):
+            first = screen_shard(config, shards[0])
+        with cache_runtime.session(cache_dir=tmp_path) as fresh:
+            second = screen_shard(config, shards[0])
+            assert fresh.stats.disk_hits == shards[0].count
+            assert fresh.stats.misses == 0
+        assert second.screened == first.screened
+        assert second.executions == 0 < first.executions

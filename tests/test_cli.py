@@ -89,8 +89,9 @@ class TestCommands:
         second = capsys.readouterr().out
         assert "campaign: 3 shards (3 resumed, 0 screened)" in second
         # The resumed run reports the same fuzzing outcome.
-        tail = lambda text: [line for line in text.splitlines()
-                             if "covering set" in line or "tested" in line]
+        def tail(text):
+            return [line for line in text.splitlines()
+                    if "covering set" in line or "tested" in line]
         assert tail(second) == tail(first)
 
     def test_fuzz_resume_from_corrupt_checkpoint(self, tmp_path, capsys):

@@ -1,6 +1,5 @@
 """Tests and property tests for the cache models."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,6 @@ from repro.cpu.events import (
     EventCatalog,
     EventType,
     INTEL_E5_4617_MODEL,
-    PROCESSOR_MODELS,
     processor_catalog,
 )
 from repro.cpu.signals import Signal, zero_signals

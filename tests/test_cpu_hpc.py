@@ -1,6 +1,5 @@
 """Tests for the HPC register file and RDPMC semantics."""
 
-import numpy as np
 import pytest
 
 from repro.cpu.hpc import HpcRegisterFile, PerfCounter

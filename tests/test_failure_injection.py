@@ -7,7 +7,6 @@ saturating clip bounds, and faulting gadgets in the fuzzing path.
 """
 
 import numpy as np
-import pytest
 
 from repro.attacks import TraceCollector
 from repro.attacks.collector import _forward_fill

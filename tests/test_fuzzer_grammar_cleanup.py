@@ -1,11 +1,9 @@
 """Tests for the gadget grammar and the cleanup step."""
 
-import numpy as np
 import pytest
 
 from repro.core.fuzzer import Gadget, GadgetGrammar, InstructionCleaner
 from repro.isa.legality import AMD_EPYC_7252
-from repro.isa.spec import FaultKind
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,6 @@ from repro.core.fuzzer import (
     minimal_covering_set,
 )
 from repro.core.fuzzer.confirm import ConfirmationResult
-from repro.cpu.core import Core
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the stride prefetcher and the vCPU scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.cpu.prefetch import StridePrefetcher

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.profiler import ApplicationProfiler, WarmupProfiler
 from repro.core.profiler.ranking import VulnerabilityRanker
-from repro.cpu.events import EventType, processor_catalog
+from repro.cpu.events import EventType
 from repro.workloads import WebsiteWorkload
 
 

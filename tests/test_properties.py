@@ -1,7 +1,6 @@
 """Cross-cutting property tests (hypothesis) for core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,7 @@ from repro.core.obfuscator.injector import (
     NoiseInjector,
     default_noise_segment,
 )
-from repro.cpu.signals import NUM_SIGNALS, Signal
+from repro.cpu.signals import NUM_SIGNALS
 from repro.ml.ctc import (
     bigram_counts,
     collapse_repeats,

@@ -1,6 +1,5 @@
 """Tests for the SEV guest / hypervisor boundary."""
 
-import numpy as np
 import pytest
 
 from repro.vm import Hypervisor, SevPolicy, SevVersion
@@ -78,7 +77,7 @@ class TestHypervisorBoundary:
         hv = Hypervisor(rng=0)
         guest = hv.launch_guest("victim")
         app = guest.spawn_process("app", vcpu_index=1)
-        obf = guest.spawn_process("obfuscator", vcpu_index=1)
+        guest.spawn_process("obfuscator", vcpu_index=1)
         names = {p.name for p in guest.processes_on_vcpu(1)}
         assert names == {"app", "obfuscator"}
         assert guest.process(app.pid).name == "app"
