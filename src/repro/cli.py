@@ -103,6 +103,30 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from exc
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}")
+    return value
+
+
 def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes for shard screening "
@@ -116,6 +140,18 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="resume from --checkpoint-dir instead of "
                              "re-screening completed shards")
+    parser.add_argument("--shard-timeout", type=_positive_float,
+                        default=None, metavar="SECONDS",
+                        help="per-shard wall-clock budget; a blown "
+                             "deadline is retried like a failure "
+                             "(default: no timeout)")
+    parser.add_argument("--max-retries", type=_nonnegative_int, default=2,
+                        help="retries per shard before bisection and "
+                             "quarantine (default 2)")
+    parser.add_argument("--fault-plan", default="", metavar="JSON",
+                        help="arm deterministic fault injection: a JSON "
+                             "fault-plan file or an inline JSON object "
+                             "(chaos testing)")
 
 
 def _default_shard_size() -> int:
@@ -127,10 +163,20 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
     """Validated campaign options shared by ``fuzz`` and ``deploy``."""
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    fault_plan = None
+    if getattr(args, "fault_plan", ""):
+        from repro.resilience import FaultPlan
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     return {"workers": args.workers,
             "checkpoint_dir": args.checkpoint_dir or None,
             "resume": args.resume,
-            "cache_dir": getattr(args, "cache_dir", "") or None}
+            "cache_dir": getattr(args, "cache_dir", "") or None,
+            "fault_plan": fault_plan,
+            "shard_timeout": getattr(args, "shard_timeout", None),
+            "max_retries": getattr(args, "max_retries", 2)}
 
 
 def _log_metrics_snapshot(snapshot: dict) -> None:
@@ -235,6 +281,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     _say(f"campaign: {cstats.num_shards} shards "
          f"({cstats.resumed_shards} resumed, "
          f"{cstats.screened_shards} screened) on {cstats.workers} worker(s)")
+    if cstats.retries or cstats.quarantined or cstats.pool_restarts:
+        _say(f"resilience: {cstats.retries} retries "
+             f"({cstats.timeouts} timeouts), {cstats.bisections} "
+             f"bisections, {cstats.pool_restarts} pool restarts, "
+             f"{len(cstats.quarantined)} gadgets quarantined")
+    for record in cstats.quarantined:
+        _say(f"  quarantined gadget {record.gadget_index} "
+             f"after {record.attempts} attempts: {record.detail}")
     _say(f"cleanup: {len(report.cleanup.legal)} of "
          f"{report.cleanup.total_variants} variants legal "
          f"({report.cleanup.legal_fraction:.1%})")

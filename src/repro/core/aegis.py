@@ -52,12 +52,13 @@ class Aegis:
         Cloud host processor family (from the attestation report).
     mechanism / epsilon:
         Online DP mechanism and privacy budget.
-    workers / shard_size / checkpoint_dir / resume / cache_dir:
+    workers / shard_size / checkpoint_dir / resume / cache_dir /
+    fault_plan / shard_timeout / max_retries:
         Fuzzing-campaign execution knobs, forwarded to
         :class:`FuzzingCampaign`. They change how the screening budget
         is scheduled (parallel workers, checkpoint artifacts, the
-        shared measurement cache), never the resulting covering set for
-        a fixed seed.
+        shared measurement cache, fault injection and retry policy),
+        never the resulting covering set for a fixed seed.
     """
 
     def __init__(self, workload: Workload,
@@ -68,6 +69,8 @@ class Aegis:
                  shard_size: int | None = None,
                  checkpoint_dir: str | None = None, resume: bool = False,
                  cache_dir: str | None = None,
+                 fault_plan=None, shard_timeout: float | None = None,
+                 max_retries: int = 2,
                  rng: "int | np.random.Generator | None" = None) -> None:
         root = ensure_rng(rng)
         self._prof_rng, self._fuzz_rng, self._obf_rng, self._sens_rng = \
@@ -84,6 +87,9 @@ class Aegis:
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
         self.cache_dir = cache_dir
+        self.fault_plan = fault_plan
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
 
     # -- offline stage ---------------------------------------------------
 
@@ -111,7 +117,10 @@ class Aegis:
         campaign = FuzzingCampaign(fuzzer, workers=self.workers,
                                    checkpoint_dir=self.checkpoint_dir,
                                    resume=self.resume,
-                                   cache_dir=self.cache_dir)
+                                   cache_dir=self.cache_dir,
+                                   fault_plan=self.fault_plan,
+                                   shard_timeout=self.shard_timeout,
+                                   max_retries=self.max_retries)
         return campaign.run(vulnerable)
 
     def _covering_segment(self, fuzzing_report: FuzzingReport) -> np.ndarray:

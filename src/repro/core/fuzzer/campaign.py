@@ -31,7 +31,6 @@ import json
 import logging
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -53,6 +52,14 @@ from repro.cpu.core import Core
 from repro.isa.catalog import shared_catalog
 from repro.isa.legality import MICROARCH_PROFILES
 from repro.isa.spec import InstructionSpec
+from repro.resilience import runtime as resilience
+from repro.resilience.faults import FaultPlan, corrupt_text
+from repro.resilience.supervisor import (
+    QuarantineRecord,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisorPolicy,
+)
 from repro.telemetry import runtime as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
@@ -253,7 +260,10 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
 
 def screen_shard_traced(config: ShardConfig, shard: ShardSpec,
                         trace_dir: "str | None" = None,
-                        cache_dir: "str | None" = None) -> ShardResult:
+                        cache_dir: "str | None" = None,
+                        fault_plan: "FaultPlan | None" = None,
+                        attempt: int = 0,
+                        sacrificial: bool = False) -> ShardResult:
     """Screen one shard under an isolated per-shard telemetry session.
 
     With a ``trace_dir``, the shard's spans and metrics land in
@@ -266,14 +276,40 @@ def screen_shard_traced(config: ShardConfig, shard: ShardSpec,
     the spawn start method, or a campaign given an explicit directory):
     every worker's on-disk tier points at the same store, so shards
     warm each other across processes and runs.
+
+    With a ``fault_plan``, the plan is armed for the duration of the
+    shard (unless the process already has an armed injector — the
+    in-process path under an ambient chaos session) and the
+    ``campaign.shard`` fault point is hit before screening starts.
+    ``attempt`` is the supervisor's retry counter for this shard —
+    faults with ``times=N`` burn out after N attempts no matter which
+    process runs the retry — and ``sacrificial`` marks pool workers,
+    where ``kill``-mode faults are allowed to take the process down.
     """
     needs_cache = cache_dir is not None and not cache_runtime.enabled()
+    needs_faults = fault_plan is not None and not resilience.armed()
+    # Bisected sub-shards (index < 0) and retries get their own
+    # telemetry files, so a failed attempt's fault.* counters survive
+    # the successful retry and the merge stays collision-free.
+    process = (f"shard-{shard.index:05d}" if shard.index >= 0
+               else f"shard-sub-{shard.start:06d}")
+    if attempt:
+        process = f"{process}-r{attempt}"
     with (cache_runtime.session(cache_dir=cache_dir) if needs_cache
-          else nullcontext()):
+          else nullcontext()), \
+         (resilience.session(fault_plan, sacrificial=sacrificial)
+          if needs_faults else nullcontext()):
         if trace_dir is None:
+            resilience.check("campaign.shard", key=shard.start,
+                             attempt=attempt,
+                             span=(shard.start, shard.stop))
             return screen_shard(config, shard)
-        with telemetry.session(trace_dir=trace_dir,
-                               process=f"shard-{shard.index:05d}"):
+        with telemetry.session(trace_dir=trace_dir, process=process):
+            # Inside the session: an injected fault's telemetry is
+            # flushed by the session teardown even when it raises.
+            resilience.check("campaign.shard", key=shard.start,
+                             attempt=attempt,
+                             span=(shard.start, shard.stop))
             return screen_shard(config, shard)
 
 
@@ -332,14 +368,51 @@ def shard_checkpoint_path(checkpoint_dir: "str | Path",
     return Path(checkpoint_dir) / f"shard-{shard_index:05d}.json"
 
 
+def _fsync_file(fh) -> None:
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename within it survives a power cut."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _checkpoint_generation(path: Path) -> int:
+    """The generation of the checkpoint currently at ``path`` (0 if none)."""
+    try:
+        return int(json.loads(path.read_text(encoding="utf-8"))
+                   .get("generation", 1))
+    except (OSError, ValueError, TypeError, AttributeError):
+        return 0
+
+
 def save_shard_checkpoint(checkpoint_dir: "str | Path", result: ShardResult,
                           fingerprint: str) -> Path:
-    """Atomically persist one shard's screening result as JSON."""
+    """Durably persist one shard's screening result as JSON.
+
+    The temp file is fsynced before the atomic rename (and the
+    directory after it), so a crash mid-write can never leave a torn
+    primary; the previous generation is kept as ``.bak``, so even a
+    checkpoint damaged *after* the rename (bit rot, a torn write the
+    ``checkpoint.write`` fault point simulates) rolls back to the
+    last-known-good generation on resume instead of losing the shard.
+    """
     path = shard_checkpoint_path(checkpoint_dir, result.index)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "version": CHECKPOINT_VERSION,
         "fingerprint": fingerprint,
+        "generation": _checkpoint_generation(path) + 1,
         "index": result.index,
         "start": result.start,
         "count": result.count,
@@ -349,22 +422,23 @@ def save_shard_checkpoint(checkpoint_dir: "str | Path", result: ShardResult,
         "screened": {str(event): [[i, d] for i, d in pairs]
                      for event, pairs in result.screened.items()},
     }
+    body = json.dumps(payload)
+    action = resilience.check("checkpoint.write", key=result.index)
+    if action is not None and action.mode == "corrupt":
+        body = corrupt_text(body, key=result.index)
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(body)
+        _fsync_file(fh)
+    if path.exists():
+        os.replace(path, path.with_suffix(".json.bak"))
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
     return path
 
 
-def load_shard_checkpoint(checkpoint_dir: "str | Path", shard: ShardSpec,
-                          fingerprint: str) -> ShardResult | None:
-    """Load a shard checkpoint, or ``None`` if missing/corrupt/stale.
-
-    Anything unusable — unreadable file, truncated JSON, a fingerprint
-    from a different campaign configuration, mismatched shard geometry —
-    is treated as "not checkpointed": the caller simply re-screens the
-    shard, which is always safe because screening is deterministic.
-    """
-    path = shard_checkpoint_path(checkpoint_dir, shard.index)
+def _parse_shard_checkpoint(path: Path, shard: ShardSpec,
+                            fingerprint: str) -> ShardResult | None:
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
         if (payload["version"] != CHECKPOINT_VERSION
@@ -385,6 +459,32 @@ def load_shard_checkpoint(checkpoint_dir: "str | Path", shard: ShardSpec,
         return None
 
 
+def load_shard_checkpoint(checkpoint_dir: "str | Path", shard: ShardSpec,
+                          fingerprint: str) -> ShardResult | None:
+    """Load a shard checkpoint, or ``None`` if missing/corrupt/stale.
+
+    An unusable primary — unreadable file, truncated JSON, a
+    fingerprint from a different campaign configuration, mismatched
+    shard geometry — rolls back to the ``.bak`` previous generation
+    (checkpoints of one fingerprint are interchangeable: screening is
+    deterministic). Only when both generations are unusable does the
+    shard read as "not checkpointed" and get re-screened.
+    """
+    path = shard_checkpoint_path(checkpoint_dir, shard.index)
+    result = _parse_shard_checkpoint(path, shard, fingerprint)
+    if result is not None:
+        return result
+    backup = _parse_shard_checkpoint(path.with_suffix(".json.bak"), shard,
+                                     fingerprint)
+    if backup is not None:
+        logger.warning("shard %05d checkpoint unusable; rolled back to "
+                       "previous generation", shard.index)
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("checkpoint.rollbacks").inc()
+    return backup
+
+
 def write_campaign_manifest(checkpoint_dir: "str | Path",
                             config: ShardConfig, budget: int,
                             shard_size: int, num_shards: int) -> Path:
@@ -403,8 +503,11 @@ def write_campaign_manifest(checkpoint_dir: "str | Path",
         "events": list(config.event_indices),
     }
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, indent=2))
+        _fsync_file(fh)
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
     return path
 
 
@@ -421,6 +524,18 @@ class CampaignStats:
     workers: int = 1
     shard_cpu_seconds: list[float] = field(default_factory=list)
     screening_wall_seconds: float = 0.0
+    # -- resilience accounting (zero on a healthy run) -----------------
+    shard_failures: list[ShardFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    bisections: int = 0
+    pool_restarts: int = 0
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+
+    @property
+    def quarantined_gadgets(self) -> list[int]:
+        """Gadget indices excluded from the report by quarantine."""
+        return [record.gadget_index for record in self.quarantined]
 
     def critical_path(self, workers: int | None = None) -> float:
         return critical_path_seconds(self.shard_cpu_seconds,
@@ -457,13 +572,28 @@ class FuzzingCampaign:
         Optional callback invoked with each freshly screened
         :class:`ShardResult` (after it is checkpointed) — progress
         reporting in the CLI, fault injection in the crash-resume tests.
+    fault_plan:
+        A :class:`~repro.resilience.faults.FaultPlan` to arm for the
+        run (chaos testing): the campaign process arms it non-fatally
+        and ships it to every shard worker, where ``kill``-mode faults
+        may take the worker down.
+    shard_timeout / max_retries:
+        Shorthand for the matching
+        :class:`~repro.resilience.supervisor.SupervisorPolicy` fields;
+        ignored when an explicit ``supervisor_policy`` is given.
+    supervisor_policy:
+        Full retry/timeout/backoff policy for the shard supervisor.
     """
 
     def __init__(self, fuzzer: "EventFuzzer", workers: int = 1,
                  checkpoint_dir: "str | Path | None" = None,
                  resume: bool = False,
                  cache_dir: "str | Path | None" = None,
-                 shard_hook: "Callable[[ShardResult], None] | None" = None
+                 shard_hook: "Callable[[ShardResult], None] | None" = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 shard_timeout: "float | None" = None,
+                 max_retries: int = 2,
+                 supervisor_policy: "SupervisorPolicy | None" = None
                  ) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
@@ -476,6 +606,15 @@ class FuzzingCampaign:
         self.resume = resume
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.shard_hook = shard_hook
+        self.fault_plan = fault_plan
+        if supervisor_policy is None:
+            try:
+                supervisor_policy = SupervisorPolicy(
+                    shard_timeout=shard_timeout, max_retries=max_retries,
+                    seed=fault_plan.seed if fault_plan is not None else 0)
+            except ValueError as exc:
+                raise CampaignError(str(exc)) from exc
+        self.policy = supervisor_policy
         self.stats = CampaignStats()
 
     def _shard_cache_dir(self) -> "str | None":
@@ -493,17 +632,28 @@ class FuzzingCampaign:
         return None
 
     def run(self, event_indices: "np.ndarray | list[int]") -> "FuzzingReport":
-        """Screen all shards (parallel, resumable), then confirm/filter.
+        """Screen all shards (supervised, resumable), then confirm/filter.
 
         Completed shards are checkpointed as they finish, so an
         interrupted run loses at most the shards in flight; resuming
         re-screens only what is missing and yields the same report as
-        an uninterrupted campaign.
+        an uninterrupted campaign. The screening fan-out runs under the
+        shard supervisor: failed shards are retried with backoff,
+        repeatedly lethal shards are bisected down to the offending
+        gadget (quarantined rather than aborting the campaign), and a
+        broken worker pool is rebuilt in place.
         """
-        fuzzer = self.fuzzer
         events = np.asarray(event_indices, dtype=int)
         if len(events) == 0:
             raise ValueError("event_indices must be non-empty")
+        needs_faults = (self.fault_plan is not None
+                        and not resilience.armed())
+        with (resilience.session(self.fault_plan) if needs_faults
+              else nullcontext()):
+            return self._run(events)
+
+    def _run(self, events: np.ndarray) -> "FuzzingReport":
+        fuzzer = self.fuzzer
         step_seconds: dict[str, float] = {}
         tracer = telemetry.tracer()
         trace_dir = telemetry.trace_dir()
@@ -523,15 +673,17 @@ class FuzzingCampaign:
             fuzzer.require_shardable()
 
         start = time.perf_counter()
+        # Results are keyed by shard *start* (unique even for bisected
+        # sub-shards, whose synthetic index is -1).
         results: dict[int, ShardResult] = {}
         if self.resume and self.checkpoint_dir is not None:
             for shard in plan:
                 loaded = load_shard_checkpoint(self.checkpoint_dir, shard,
                                                fingerprint)
                 if loaded is not None:
-                    results[shard.index] = loaded
+                    results[shard.start] = loaded
         resumed = len(results)
-        pending = [shard for shard in plan if shard.index not in results]
+        pending = [shard for shard in plan if shard.start not in results]
         logger.debug("campaign: %d shards planned, %d resumed, "
                      "%d pending on %d worker(s)", len(plan), resumed,
                      len(pending), self.workers)
@@ -540,32 +692,22 @@ class FuzzingCampaign:
                                     fuzzer.gadget_budget, fuzzer.shard_size,
                                     len(plan))
 
+        supervisor = ShardSupervisor(
+            fn=screen_shard_traced,
+            args=lambda shard, attempt, sacrificial: (
+                config, shard, shard_trace_dir, shard_cache_dir,
+                self.fault_plan, attempt, sacrificial),
+            on_result=lambda result: self._complete(result, fingerprint,
+                                                    results),
+            empty_result=lambda shard: ShardResult(
+                index=-1, start=shard.start, count=shard.count,
+                screened={int(e): [] for e in config.event_indices}),
+            policy=self.policy, workers=min(self.workers, max(1,
+                                                              len(pending))),
+            fault_plan=self.fault_plan)
         with tracer.span("fuzz.screening", shards=len(plan),
                          resumed=resumed):
-            if self.workers == 1 or len(pending) <= 1:
-                for shard in pending:
-                    self._complete(
-                        screen_shard_traced(config, shard, shard_trace_dir,
-                                            shard_cache_dir),
-                        fingerprint, results)
-            else:
-                workers = min(self.workers, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {pool.submit(screen_shard_traced, config,
-                                           shard, shard_trace_dir,
-                                           shard_cache_dir)
-                               for shard in pending}
-                    try:
-                        while futures:
-                            done, futures = wait(
-                                futures, return_when=FIRST_COMPLETED)
-                            for future in done:
-                                self._complete(future.result(), fingerprint,
-                                               results)
-                    except BaseException:
-                        for future in futures:
-                            future.cancel()
-                        raise
+            supervised = supervisor.run(pending)
         step_seconds["generation_execution"] = time.perf_counter() - start
 
         registry = telemetry.metrics()
@@ -578,18 +720,28 @@ class FuzzingCampaign:
         self.stats = CampaignStats(
             num_shards=len(plan), resumed_shards=resumed,
             screened_shards=len(plan) - resumed, workers=self.workers,
-            shard_cpu_seconds=[results[s.index].cpu_seconds for s in plan],
-            screening_wall_seconds=step_seconds["generation_execution"])
+            shard_cpu_seconds=[results[key].cpu_seconds
+                               for key in sorted(results)],
+            screening_wall_seconds=step_seconds["generation_execution"],
+            shard_failures=list(supervised.failures),
+            retries=supervised.retries,
+            timeouts=supervised.timeouts,
+            bisections=supervised.bisections,
+            pool_restarts=supervised.pool_restarts,
+            quarantined=list(supervised.quarantined))
         merged = merge_screened(results.values())
         return fuzzer.finalize(cleanup, merged, events, step_seconds)
 
     def _complete(self, result: ShardResult, fingerprint: str,
                   results: dict[int, ShardResult]) -> None:
-        results[result.index] = result
-        logger.debug("shard %05d screened: %d gadgets in %.3fs "
-                     "(%.3fs cpu)", result.index, result.count,
+        results[result.start] = result
+        logger.debug("shard @%d screened: %d gadgets in %.3fs "
+                     "(%.3fs cpu)", result.start, result.count,
                      result.elapsed_seconds, result.cpu_seconds)
-        if self.checkpoint_dir is not None:
+        # Bisected sub-shards (index < 0) stay in memory only: their
+        # geometry does not match the plan, so a checkpoint would never
+        # load — the parent shard simply re-screens on resume.
+        if self.checkpoint_dir is not None and result.index >= 0:
             save_shard_checkpoint(self.checkpoint_dir, result, fingerprint)
         if self.shard_hook is not None:
             self.shard_hook(result)

@@ -13,7 +13,7 @@ from repro.core.obfuscator.dp import (
     LaplaceMechanism,
     laplace_sample,
 )
-from repro.core.obfuscator.noise import NoiseCalculator
+from repro.core.obfuscator.noise import NoiseCalculator, NoiseExhausted
 from repro.core.obfuscator.injector import (
     InjectionReport,
     NoiseInjector,
@@ -22,7 +22,11 @@ from repro.core.obfuscator.injector import (
     default_noise_components,
     default_noise_segment,
 )
-from repro.core.obfuscator.kernel_module import KernelModule, NetlinkChannel
+from repro.core.obfuscator.kernel_module import (
+    KernelModule,
+    KernelModuleCrashed,
+    NetlinkChannel,
+)
 from repro.core.obfuscator.daemon import UserspaceDaemon
 from repro.core.obfuscator.obfuscator import EventObfuscator, estimate_sensitivity
 
@@ -32,9 +36,11 @@ __all__ = [
     "EventObfuscator",
     "InjectionReport",
     "KernelModule",
+    "KernelModuleCrashed",
     "LaplaceMechanism",
     "NetlinkChannel",
     "NoiseCalculator",
+    "NoiseExhausted",
     "NoiseInjector",
     "RandomNoiseInjector",
     "SecretTiedNoise",

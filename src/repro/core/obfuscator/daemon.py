@@ -9,12 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
+import logging
+
 from repro.core.obfuscator.dp import DpMechanism, DstarMechanism, LaplaceMechanism
 from repro.core.obfuscator.injector import InjectionReport, NoiseInjector
-from repro.core.obfuscator.kernel_module import KernelModule
+from repro.core.obfuscator.kernel_module import KernelModule, KernelModuleCrashed
 from repro.core.obfuscator.noise import NoiseCalculator
 from repro.telemetry import runtime as telemetry
 from repro.utils.rng import ensure_rng
+
+logger = logging.getLogger(__name__)
 
 
 class UserspaceDaemon:
@@ -41,6 +45,10 @@ class UserspaceDaemon:
         scale = mechanism.sensitivity / mechanism.epsilon
         self.calculator = NoiseCalculator(scale, rng=self._rng)
         self.last_report: InjectionReport | None = None
+        #: Logical heartbeat the watchdog monitors: bumps once per
+        #: noise-window computation, so a wedged daemon stops beating.
+        self.heartbeat = 0
+        self.restarts = 0
 
     @property
     def needs_hpc_monitoring(self) -> bool:
@@ -51,8 +59,42 @@ class UserspaceDaemon:
         """Receive the kernel module's launch signal."""
         self.kernel_module.launch(monitor_hpcs=self.needs_hpc_monitoring)
 
+    def restart(self) -> None:
+        """Watchdog entry point: recover a stale daemon in place.
+
+        Re-arms the kernel module (preserving d* slice state) and drops
+        the precomputed noise buffer — stale draws are discarded, never
+        reused, and the buffer refills before the next release.
+        """
+        self.restarts += 1
+        if self.needs_hpc_monitoring and not self.kernel_module.running:
+            self._recover_kernel_module()
+        self.calculator.rescale(self.calculator.scale)
+        self.heartbeat += 1
+
+    def _recover_kernel_module(self) -> None:
+        """Bring a crashed kernel module back without losing d* state."""
+        logger.warning("daemon: kernel module down; restarting it")
+        self.kernel_module.restart()
+
+    def _stream_sample(self, value: float) -> None:
+        """Forward one RDPMC reading, surviving one module crash.
+
+        A crashed read forwards nothing and does not advance the slice
+        index, so retrying after recovery re-reads the same slice — the
+        streamed sequence the mechanism sees is identical to a
+        fault-free run. A second consecutive crash on the same slice
+        propagates: the window is withheld (fail closed).
+        """
+        try:
+            self.kernel_module.on_hpc_read(value)
+        except KernelModuleCrashed:
+            self._recover_kernel_module()
+            self.kernel_module.on_hpc_read(value)
+
     def compute_noise(self, reference_values: np.ndarray) -> np.ndarray:
         """Per-slice noise for one window of reference-event values."""
+        self.heartbeat += 1
         with telemetry.tracer().span(
                 "obfuscate.noise",
                 mechanism=type(self.mechanism).__name__):
@@ -66,7 +108,7 @@ class UserspaceDaemon:
             # Stream the readings through the netlink channel, exactly
             # as the kernel module would deliver them.
             for value in reference_values:
-                self.kernel_module.on_hpc_read(float(value))
+                self._stream_sample(float(value))
             samples = self.kernel_module.channel.drain()
             values = np.array([s.value for s in samples])
             return self.mechanism.noise_sequence(values, rng=self._rng)

@@ -12,7 +12,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.resilience import runtime as resilience
+from repro.resilience.faults import InjectedFault
 from repro.telemetry import runtime as telemetry
+
+
+class KernelModuleCrashed(RuntimeError):
+    """The kernel module died mid-read (``kernel_module.read`` fault).
+
+    The module marks itself not-running before raising, so every later
+    read fails fast until :meth:`KernelModule.restart` re-arms it.
+    """
 
 
 @dataclass(frozen=True)
@@ -66,6 +76,7 @@ class KernelModule:
         self.running = False
         self.monitor_hpcs = False
         self._slice_index = 0
+        self.restarts = 0
 
     def launch(self, monitor_hpcs: bool) -> None:
         """Customer launch signal: wake the daemon, start monitoring.
@@ -81,10 +92,36 @@ class KernelModule:
         """Stop the protection service."""
         self.running = False
 
+    def restart(self) -> None:
+        """Re-arm after a crash *without* resetting the d* slice state.
+
+        Unlike :meth:`launch`, the monitoring flag and the slice index
+        are preserved: the restarted module resumes the reconstruction
+        exactly where the crash interrupted it, so the daemon's noise
+        sequence is identical to a fault-free run.
+        """
+        if not self.running:
+            self.restarts += 1
+            telemetry.metrics().counter("kernel.restarts").inc()
+        self.running = True
+
     def on_hpc_read(self, value: float) -> None:
-        """RDPMC tick: forward the reading to the daemon when needed."""
+        """RDPMC tick: forward the reading to the daemon when needed.
+
+        A ``kernel_module.read`` fault crashes the module: nothing is
+        forwarded (the slice index does not advance, so a retry after
+        :meth:`restart` re-reads the same slice) and every read raises
+        :class:`KernelModuleCrashed` until the module is restarted.
+        """
         if not self.running:
             raise RuntimeError("kernel module not launched")
+        try:
+            resilience.check("kernel_module.read", key=self._slice_index)
+        except InjectedFault as exc:
+            self.running = False
+            raise KernelModuleCrashed(
+                f"kernel module crashed reading slice "
+                f"{self._slice_index}") from exc
         telemetry.metrics().counter("kernel.hpc_reads").inc()
         if self.monitor_hpcs:
             self.channel.send(HpcSample(self._slice_index, float(value)))

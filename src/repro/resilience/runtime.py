@@ -1,0 +1,74 @@
+"""Process-global fault-injection runtime.
+
+Mirrors :mod:`repro.telemetry.runtime` and :mod:`repro.cache.runtime`:
+instrumented sites never own an injector, they call :func:`check` and
+get the process-global one. Until :func:`arm` installs a plan the
+shared no-op injector answers, so every fault point costs one function
+call and an attribute read in production.
+
+Campaign worker processes arm their own injector (the supervisor ships
+the :class:`~repro.resilience.faults.FaultPlan` with each shard task)
+flagged *sacrificial*, which is what licenses ``kill``-mode faults to
+``os._exit`` — the campaign's own process always demotes kills to
+raises so chaos plans cannot take down the supervisor.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.resilience.faults import (
+    NOOP_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NoopFaultInjector,
+)
+
+_active: "FaultInjector | NoopFaultInjector" = NOOP_INJECTOR
+
+
+def arm(plan: FaultPlan, sacrificial: bool = False) -> FaultInjector:
+    """Install a live injector for ``plan``; returns it."""
+    global _active
+    _active = FaultInjector(plan, sacrificial=sacrificial)
+    return _active
+
+
+def disarm() -> None:
+    """Restore the no-op injector."""
+    global _active
+    _active = NOOP_INJECTOR
+
+
+def armed() -> bool:
+    return _active is not NOOP_INJECTOR
+
+
+def active() -> "FaultInjector | NoopFaultInjector":
+    return _active
+
+
+def check(point: str, key: int = 0, attempt: "int | None" = None,
+          span: "tuple[int, int] | None" = None) -> "FaultSpec | None":
+    """Hit one fault point on the process-global injector."""
+    return _active.check(point, key=key, attempt=attempt, span=span)
+
+
+@contextmanager
+def session(plan: "FaultPlan | None", sacrificial: bool = False):
+    """Scoped arming: arm, yield the injector, restore the previous one.
+
+    ``plan=None`` yields the currently armed injector unchanged, so
+    call sites can pass an optional plan straight through.
+    """
+    global _active
+    if plan is None:
+        yield _active
+        return
+    previous = _active
+    injector = arm(plan, sacrificial=sacrificial)
+    try:
+        yield injector
+    finally:
+        _active = previous

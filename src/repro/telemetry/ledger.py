@@ -48,6 +48,16 @@ class PrivacyLedger:
         registry.counter("privacy.windows").inc()
         self.sync(accountant)
 
+    def record_stall(self, slices: int = 1) -> None:
+        """A fail-closed stall: ``slices`` were requested but withheld.
+
+        A stalled release spends no budget and leaks no value, so the
+        composed guarantee is unchanged — the counter exists so chaos
+        runs can prove exhaustion never turned into an un-noised
+        emission.
+        """
+        self._registry.counter("privacy.stalled_slices").inc(slices)
+
     def sync(self, accountant: "PrivacyAccountant") -> None:
         """Refresh the gauges from the accountant's current state."""
         registry = self._registry
@@ -82,6 +92,9 @@ class NoopPrivacyLedger:
     enabled = False
 
     def record_release(self, accountant, slices: int) -> None:
+        return None
+
+    def record_stall(self, slices: int = 1) -> None:
         return None
 
     def sync(self, accountant) -> None:

@@ -59,6 +59,52 @@ def render_run(run: RunTelemetry) -> str:
                          f"{executions:,.0f}")
         lines.append("")
 
+    faults = {name: value for name, value in counters.items()
+              if name.startswith(("fault.", "retry.", "checkpoint.",
+                                  "daemon.", "kernel.restarts",
+                                  "cache.tmp_swept"))}
+    stalled = counters.get("privacy.stalled_slices", 0)
+    if faults or stalled:
+        lines.append("## Resilience")
+        injected = faults.get("fault.injected", 0)
+        if injected:
+            points = ", ".join(
+                f"{name.removeprefix('fault.')} x{value:,.0f}"
+                for name, value in sorted(faults.items())
+                if name.startswith("fault.") and name != "fault.injected"
+                and name != "fault.quarantined")
+            lines.append(f"{injected:,.0f} faults injected"
+                         + (f" ({points})" if points else ""))
+        retries = faults.get("retry.shards", 0)
+        if retries:
+            lines.append(
+                f"{retries:,.0f} shard retries "
+                f"({faults.get('retry.shard_failures', 0):,.0f} failures, "
+                f"{faults.get('retry.bisections', 0):,.0f} bisections, "
+                f"{faults.get('retry.pool_restarts', 0):,.0f} pool "
+                f"restarts)")
+        quarantined = faults.get("fault.quarantined", 0)
+        if quarantined:
+            lines.append(f"{quarantined:,.0f} gadgets quarantined")
+        rollbacks = faults.get("checkpoint.rollbacks", 0)
+        if rollbacks:
+            lines.append(f"{rollbacks:,.0f} checkpoint rollbacks to the "
+                         f"previous generation")
+        stalls = faults.get("daemon.noise_stalls", 0)
+        if stalls or stalled:
+            lines.append(f"noise refill stalls: {stalls:,.0f}; "
+                         f"slices withheld fail-closed: {stalled:,.0f} "
+                         f"(zero un-noised values released)")
+        restarts = (faults.get("daemon.restarts", 0),
+                    faults.get("kernel.restarts", 0))
+        if any(restarts):
+            lines.append(f"restarts: daemon {restarts[0]:,.0f}, "
+                         f"kernel module {restarts[1]:,.0f}")
+        swept = faults.get("cache.tmp_swept", 0)
+        if swept:
+            lines.append(f"{swept:,.0f} stale cache temp files swept")
+        lines.append("")
+
     interesting = {name: value for name, value in counters.items()
                    if not name.startswith("privacy.")}
     if interesting:

@@ -17,6 +17,27 @@ from typing import IO
 ROOT_LOGGER = "repro"
 
 
+class _StdoutHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stdout`` at emit time.
+
+    Binding stdout at construction leaves the handler pointing at a
+    dead stream once stdout is swapped (pytest capture, notebook
+    re-execution); every later library warning then raises
+    "I/O operation on closed file" instead of printing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self) -> "IO[str]":
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value: "IO[str]") -> None:
+        pass  # the base __init__ assigns; stdout is always live-resolved
+
+
 def configure_cli_logging(verbose: int = 0, quiet: bool = False,
                           stream: "IO[str] | None" = None
                           ) -> logging.Logger:
@@ -37,8 +58,8 @@ def configure_cli_logging(verbose: int = 0, quiet: bool = False,
     root = logging.getLogger(ROOT_LOGGER)
     for handler in list(root.handlers):
         root.removeHandler(handler)
-    handler = logging.StreamHandler(stream if stream is not None
-                                    else sys.stdout)
+    handler = (logging.StreamHandler(stream) if stream is not None
+               else _StdoutHandler())
     pattern = ("%(levelname).1s %(name)s: %(message)s" if verbose
                else "%(message)s")
     handler.setFormatter(logging.Formatter(pattern))
