@@ -1,0 +1,155 @@
+"""Fleet control plane: batched serving vs sequential daemons.
+
+The fleet serves noised monitored-event reads from precomputed
+per-tenant injection plans — one matmul row and an add per slice — at
+the observable boundary. The stock path re-derives a full signal
+matrix per slice inside every tenant's own daemon. This bench pits a
+16-tenant fleet replay against the same 16 tenants served one after
+another by stock single-tenant ``EventObfuscator`` daemons (telemetry
+enabled for both paths, as a deployment would run them) and gates on
+the aggregate noised-read throughput ratio.
+
+It also gates on the fleet's determinism story: the replay must be
+bit-identical — per-tenant noised-read digests and the final ε-ledger
+— across repeat runs under the same seed, *including* a run where one
+``fleet.provision`` fault is injected and absorbed by the refill retry
+loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SMOKE, emit, emit_metrics, once
+from repro import telemetry
+from repro.fleet import (
+    FleetControlPlane,
+    LoadGenerator,
+    default_artifact,
+    default_specs,
+)
+from repro.fleet.loadgen import make_workload
+from repro.resilience import runtime as resilience
+from repro.resilience.faults import FaultPlan
+from repro.utils.rng import derive_stream
+
+TENANTS = 16
+WINDOWS = 2 if SMOKE else 4
+SLICES = 1000 if SMOKE else 3000
+SLICE_S = 1e-3
+SEED = 7
+MIN_SPEEDUP = 4.0
+
+FAULT_PLAN = FaultPlan.parse(
+    '{"seed": 3, "faults": '
+    '[{"point": "fleet.provision", "mode": "raise", "times": 1}]}')
+
+
+def _signal_traces(artifact, specs):
+    """Per-tenant raw (T, NUM_SIGNALS) traces, same streams the fleet's
+    ``record_trace`` projects from."""
+    traces = {}
+    for spec in specs:
+        workload = make_workload(spec.workload)
+        rng = derive_stream(SEED, "workload", spec.tenant_id)
+        blocks, _ = workload.generate_blocks_with_phases(
+            workload.secrets[0], rng, SLICES * SLICE_S, SLICE_S)
+        traces[spec.tenant_id] = np.stack(
+            [b.signals for b in blocks])[:SLICES]
+    return traces
+
+
+def _run_baseline(artifact, specs, event_weights):
+    """16 sequential stock daemons; returns (elapsed s, served slices).
+
+    Each tenant owns a full single-VM obfuscator stack and noises its
+    whole signal matrix; the host-visible read is the projection onto
+    the monitored events — the same observable the fleet serves.
+    """
+    traces = _signal_traces(artifact, specs)
+    obfuscators = {spec.tenant_id: artifact.build_obfuscator(rng=i)
+                   for i, spec in enumerate(specs)}
+    served = 0
+    with telemetry.session(process="main"):
+        start = time.perf_counter()
+        for _ in range(WINDOWS):
+            for spec in specs:
+                noised = obfuscators[spec.tenant_id].obfuscate_matrix(
+                    traces[spec.tenant_id], SLICE_S)
+                _ = noised @ event_weights  # the host's event read
+                served += len(noised)
+        elapsed = time.perf_counter() - start
+    return elapsed, served
+
+
+def _run_fleet(artifact, specs, fault_plan=None):
+    """One fresh control plane replayed to a digest-bearing report."""
+    with telemetry.session(process="main"), \
+            resilience.session(fault_plan):
+        # Buffer sized to the window with demand-paced refills, so the
+        # timed run provisions exactly as many slices as it serves —
+        # the steady-state ratio a long-running fleet converges to.
+        plane = FleetControlPlane(artifact, seed=SEED,
+                                  capacity=SLICES, watermark=0)
+        generator = LoadGenerator(plane, specs, windows=WINDOWS,
+                                  slices_per_window=SLICES,
+                                  slice_s=SLICE_S)
+        return generator.run()
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_throughput(benchmark):
+    artifact = default_artifact()
+    specs = default_specs(TENANTS)
+
+    # Warm shared caches (ISA/event catalogs, numpy) before timing.
+    warm_plane = FleetControlPlane(artifact, seed=SEED,
+                                   capacity=SLICES, watermark=0)
+    event_weights = warm_plane.event_weights
+    LoadGenerator(warm_plane, specs[:2], windows=1,
+                  slices_per_window=64).run()
+
+    baseline_s, baseline_slices = _run_baseline(artifact, specs,
+                                                event_weights)
+    report = once(benchmark, lambda: _run_fleet(artifact, specs))
+    repeat = _run_fleet(artifact, specs)
+    faulted = _run_fleet(artifact, specs, fault_plan=FAULT_PLAN)
+
+    assert report.rejected_windows == 0, report.rejections
+    assert report.served_slices == baseline_slices \
+        == TENANTS * WINDOWS * SLICES
+
+    repeat_identical = repeat.fingerprint() == report.fingerprint()
+    fault_identical = faulted.fingerprint() == report.fingerprint()
+    assert repeat_identical, \
+        "repeat replay diverged from the first run under the same seed"
+    assert fault_identical, \
+        "a retry-absorbed fleet.provision fault changed the replay"
+
+    baseline_rate = baseline_slices / baseline_s
+    fleet_rate = report.slices_per_second
+    speedup = fleet_rate / baseline_rate if baseline_rate else float("inf")
+
+    lines = [
+        f"{TENANTS} tenants x {WINDOWS} windows x {SLICES} slices "
+        f"(telemetry on, seed {SEED})",
+        f"{'path':<22s} {'wall s':>8s} {'slices/s':>12s}",
+        f"{'sequential daemons':<22s} {baseline_s:>8.3f} "
+        f"{baseline_rate:>12,.0f}",
+        f"{'fleet control plane':<22s} {report.elapsed_s:>8.3f} "
+        f"{fleet_rate:>12,.0f}",
+        f"aggregate noised-read speedup: {speedup:.2f}x",
+        f"replay bit-identical across repeats: "
+        f"{'yes' if repeat_identical else 'NO'}",
+        f"bit-identical with one injected fleet.provision fault: "
+        f"{'yes' if fault_identical else 'NO'}",
+    ]
+    emit("fleet_throughput", "\n".join(lines))
+    emit_metrics("fleet_throughput", {
+        "speedup": speedup,
+        "fleet_slices_per_s": fleet_rate,
+        "bit_identical": float(repeat_identical and fault_identical),
+    })
+    assert speedup >= MIN_SPEEDUP, \
+        f"fleet speedup {speedup:.2f}x < {MIN_SPEEDUP}x"

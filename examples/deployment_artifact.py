@@ -1,11 +1,14 @@
 """Operational flow: offline stage on a template server, artifact
-hand-off, online defense in the production VM.
+hand-off through the fleet registry, online defense in production VMs.
 
 The offline modules run once (possibly at a third party with host
-privileges); their output ships to the customer's production VM as a
-JSON artifact. This example runs the pipeline, saves/loads the
-artifact, instantiates the Event Obfuscator from it, and prints the
-privacy-budget composition statement for a full monitoring window.
+privileges); their output is *published* to a versioned artifact
+registry keyed by (processor model, workload), and every production VM
+loads from there — getting a digest check and a compatibility check
+for free. This example runs the pipeline, publishes the artifact,
+loads it back, verifies the restored privacy accountant matches the
+saved one bit for bit, and prints the budget composition for a full
+monitoring window.
 
 Run:  python examples/deployment_artifact.py
 """
@@ -15,6 +18,7 @@ import tempfile
 from repro import Aegis, WebsiteWorkload
 from repro.core.artifacts import DeploymentArtifact
 from repro.core.obfuscator.budget import PrivacyAccountant
+from repro.fleet import ArtifactRegistry
 
 
 def main() -> None:
@@ -26,29 +30,48 @@ def main() -> None:
                   runs_per_secret=5, gadget_budget=600, rng=11)
     deployment = aegis.deploy(secrets=secrets)
     artifact = DeploymentArtifact.from_deployment(deployment)
+    # Carry the budget already spent during offline calibration.
+    artifact.update_budget(deployment.obfuscator)
     print(f"vulnerable events: {len(artifact.vulnerable_events)}")
     print(f"covering gadgets:  {len(artifact.covering_gadgets)}")
     print(f"sensitivity:       {artifact.sensitivity:.4g} counts/slice")
 
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
-        path = f.name
-    artifact.save(path)
-    print(f"artifact saved to {path} "
-          f"({len(artifact.to_json())} bytes of JSON)\n")
+    with tempfile.TemporaryDirectory() as registry_dir:
+        registry = ArtifactRegistry(registry_dir)
+        entry = registry.publish(artifact, workload="website")
+        print(f"published v{entry.version:04d} to the registry "
+              f"(sha256 {entry.digest[:12]}...)\n")
 
-    print("=== production VM (online) ===")
-    restored = DeploymentArtifact.load(path)
-    obfuscator = restored.build_obfuscator(rng=1)
-    print(f"obfuscator ready: {obfuscator.privacy_guarantee}")
-    print(f"injection components: {obfuscator.injector.num_components} "
-          "gadget groups, mixed randomly per slice")
+        print("=== production VM (online) ===")
+        restored = registry.load(artifact.processor_model, "website")
+        # The registry verified the content digest; now verify the
+        # privacy accounting survived the round trip exactly.
+        assert restored.accountant_state == artifact.accountant_state, \
+            "restored accountant state diverged from the published one"
+        restored_accountant = PrivacyAccountant.from_dict(
+            restored.accountant_state)
+        saved_accountant = PrivacyAccountant.from_dict(
+            artifact.accountant_state)
+        assert restored_accountant.releases == saved_accountant.releases
+        assert restored_accountant.basic_epsilon \
+            == saved_accountant.basic_epsilon
+        print(f"accountant restored: {restored_accountant.releases} "
+              f"slices already released "
+              f"(eps spent: {restored_accountant.tightest_epsilon:.4g})")
 
-    # What the per-slice guarantee composes to over one 3 s window
-    # sampled at 1 ms — the caveat the paper's per-slice statement
-    # leaves implicit.
-    accountant = PrivacyAccountant(per_slice_epsilon=obfuscator.epsilon)
-    accountant.record(3000)
-    print(f"window-level budget: {accountant.statement()}")
+        obfuscator = restored.build_obfuscator(rng=1)
+        print(f"obfuscator ready: {obfuscator.privacy_guarantee}")
+        print(f"injection components: "
+              f"{obfuscator.injector.num_components} "
+              "gadget groups, mixed randomly per slice")
+
+        # What the per-slice guarantee composes to over one 3 s window
+        # sampled at 1 ms — the caveat the paper's per-slice statement
+        # leaves implicit.
+        accountant = PrivacyAccountant(
+            per_slice_epsilon=obfuscator.epsilon)
+        accountant.record(3000)
+        print(f"window-level budget: {accountant.statement()}")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,9 @@ Mirrors :mod:`repro.telemetry.runtime`: hot-path code never owns a
 cache, it asks this module for the process-global one
 (:func:`active`). Until :func:`configure` is called the accessor hands
 back a shared no-op cache, so the disabled path costs one function
-call and an attribute read.
+call and an attribute read. The slot itself is a
+:class:`repro.utils.runtime.ProcessGlobal`, the helper all four
+runtime modules (telemetry, cache, resilience, fleet) share.
 
 :func:`session` scopes a configuration: the CLI opens one around a
 ``fuzz``/``profile``/``deploy`` command, and campaign worker processes
@@ -16,7 +18,6 @@ N's measurements warm shard M's re-run.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from pathlib import Path
 
 from repro.cache.cache import (
@@ -25,8 +26,10 @@ from repro.cache.cache import (
     MeasurementCache,
     NoopMeasurementCache,
 )
+from repro.utils.runtime import ProcessGlobal
 
-_active: "MeasurementCache | NoopMeasurementCache" = NOOP_CACHE
+_slot: "ProcessGlobal[MeasurementCache | NoopMeasurementCache]" = \
+    ProcessGlobal(NOOP_CACHE)
 
 
 def configure(cache_dir: "str | Path | None" = None,
@@ -36,33 +39,25 @@ def configure(cache_dir: "str | Path | None" = None,
     ``cache_dir=None`` keeps the cache memory-only; with a directory
     the on-disk tier persists across runs and processes.
     """
-    global _active
-    _active = MeasurementCache(cache_dir=cache_dir, max_entries=max_entries)
-    return _active
+    return _slot.install(
+        MeasurementCache(cache_dir=cache_dir, max_entries=max_entries))
 
 
 def disable() -> None:
     """Restore the no-op cache."""
-    global _active
-    _active = NOOP_CACHE
+    _slot.reset()
 
 
 def enabled() -> bool:
-    return _active is not NOOP_CACHE
+    return _slot.enabled()
 
 
 def active() -> "MeasurementCache | NoopMeasurementCache":
-    return _active
+    return _slot.active()
 
 
-@contextmanager
 def session(cache_dir: "str | Path | None" = None,
             max_entries: int = DEFAULT_MAX_ENTRIES):
     """Scoped cache: configure, yield, restore the previous one."""
-    global _active
-    previous = _active
-    cache = configure(cache_dir=cache_dir, max_entries=max_entries)
-    try:
-        yield cache
-    finally:
-        _active = previous
+    return _slot.scoped(
+        MeasurementCache(cache_dir=cache_dir, max_entries=max_entries))

@@ -387,6 +387,156 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_artifact(args: argparse.Namespace):
+    """Resolve the deployment artifact for a fleet command.
+
+    ``--artifact`` loads a plain artifact JSON; ``--registry`` loads
+    the latest compatible version from an artifact registry; with
+    neither, a synthetic default calibration stands in (demos, smoke
+    tests).
+    """
+    from repro.fleet import check_compatible, default_artifact
+    if args.artifact and args.registry:
+        raise SystemExit("--artifact conflicts with --registry")
+    if args.artifact:
+        from repro.core.artifacts import DeploymentArtifact
+        artifact = DeploymentArtifact.load(args.artifact)
+    elif args.registry:
+        from repro.fleet import ArtifactRegistry
+        artifact = ArtifactRegistry(args.registry).load(
+            args.processor, args.workload)
+    else:
+        return default_artifact(args.processor)
+    try:
+        check_compatible(artifact, args.processor)
+    except Exception as exc:
+        raise SystemExit(str(exc)) from exc
+    return artifact
+
+
+def _fleet_run(args: argparse.Namespace):
+    """Build a fresh control plane and replay one load-generation run."""
+    import math
+
+    from repro.fleet import (
+        FleetControlPlane,
+        LoadGenerator,
+        default_specs,
+    )
+    from repro.fleet import runtime as fleet_runtime
+    from repro.resilience import runtime as resilience
+    artifact = _fleet_artifact(args)
+    fault_plan = None
+    if getattr(args, "fault_plan", ""):
+        from repro.resilience import FaultPlan
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    plane = FleetControlPlane(artifact, seed=args.seed)
+    cap = args.epsilon_cap if args.epsilon_cap is not None else math.inf
+    specs = default_specs(args.tenants, workload=args.workload,
+                          epsilon_cap=cap)
+    generator = LoadGenerator(plane, specs, windows=args.windows,
+                              slices_per_window=args.slices,
+                              concurrency=args.concurrency or None)
+    with fleet_runtime.session(plane), resilience.session(fault_plan):
+        report = generator.run()
+    return plane, report
+
+
+def _write_fleet_status(args: argparse.Namespace, plane, report) -> None:
+    if not getattr(args, "state_dir", ""):
+        return
+    import json
+    import pathlib
+    state_dir = pathlib.Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    status = plane.status()
+    status["replay"] = report.to_dict()
+    path = state_dir / "fleet-status.json"
+    tmp = state_dir / ".fleet-status.json.tmp"
+    tmp.write_text(json.dumps(status, indent=2), encoding="utf-8")
+    import os
+    os.replace(tmp, path)
+    _say(f"fleet status written to {path}")
+
+
+def _say_fleet_summary(report) -> None:
+    _say(f"fleet: {len(report.tenants)} tenants x {report.windows} "
+         f"windows of {report.slices_per_window} slices")
+    _say(f"served {report.served_windows} windows "
+         f"({report.served_slices:,} slices) at "
+         f"{report.slices_per_second:,.0f} noised slices/s; "
+         f"{report.rejected_windows} rejected")
+    for tenant_id, reasons in sorted(report.rejections.items()):
+        _say(f"  {tenant_id}: rejected {len(reasons)} "
+             f"({', '.join(sorted(set(reasons)))})")
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Serve a replayed multi-tenant load and persist fleet status."""
+    plane, report = _fleet_run(args)
+    _say_fleet_summary(report)
+    exhausted = [tid for tid, row in report.budgets.items()
+                 if row["exhausted"]]
+    if exhausted:
+        _say(f"budget-exhausted tenants: {', '.join(exhausted)}")
+    _write_fleet_status(args, plane, report)
+    return 0
+
+
+def cmd_fleet_replay(args: argparse.Namespace) -> int:
+    """Replay the same load twice and verify bit-identity."""
+    if args.repeat < 2:
+        raise SystemExit("--repeat must be >= 2 to compare replays")
+    reference = None
+    plane = report = None
+    for _ in range(args.repeat):
+        plane, report = _fleet_run(args)
+        fingerprint = report.fingerprint()
+        if reference is None:
+            reference = fingerprint
+        elif fingerprint != reference:
+            _say("replay DIVERGED: noised reads or ledgers differ "
+                 "across repeats")
+            return 1
+    _say_fleet_summary(report)
+    _say(f"replay bit-identical across {args.repeat} runs "
+         f"(per-tenant noise sequences and ledgers)")
+    _write_fleet_status(args, plane, report)
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Render a fleet-status.json written by ``fleet serve``."""
+    import json
+    import pathlib
+    path = pathlib.Path(args.state_dir) / "fleet-status.json"
+    if not path.is_file():
+        raise SystemExit(f"no fleet status at {path}; run "
+                         f"'fleet serve --state-dir {args.state_dir}' first")
+    status = json.loads(path.read_text(encoding="utf-8"))
+    _say(f"fleet on {status['processor_model']} "
+         f"({status['mechanism']}, eps={status['epsilon']:g}/slice), "
+         f"seed {status['seed']}, {status['ticks']} ticks")
+    _say(f"windows: {status['admitted_windows']} admitted, "
+         f"{status['rejected_windows']} rejected")
+    for tenant_id in sorted(status["tenants"]):
+        row = status["tenants"][tenant_id]
+        budget = status["budgets"][tenant_id]
+        cap = budget["epsilon_cap"]
+        cap_text = "uncapped" if cap is None else (
+            f"{budget['epsilon_spent']:g}/{cap:g} eps")
+        _say(f"  {tenant_id}: {row['windows_served']} windows "
+             f"({row['slices_served']:,} slices), buffer "
+             f"{row['buffer_available']}/{row['buffer_capacity']}, "
+             f"{row['refills']} refills, {row['daemon_restarts']} "
+             f"restarts, budget {cap_text}"
+             + (" [EXHAUSTED]" if budget["exhausted"] else ""))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render a deployment artifact and/or a telemetry run."""
     if not args.artifact and not args.trace:
@@ -475,6 +625,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slice", type=float, default=0.01,
                    help="monitor sampling interval in seconds")
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("fleet",
+                       help="multi-tenant fleet control plane "
+                            "(serve/replay/status)")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_load_options(fp: argparse.ArgumentParser) -> None:
+        _add_common(fp)
+        fp.add_argument("--tenants", type=_positive_int, default=4,
+                        help="tenant guests to admit (default 4)")
+        fp.add_argument("--windows", type=_positive_int, default=4,
+                        help="replayed windows per tenant (default 4)")
+        fp.add_argument("--slices", type=_positive_int, default=3000,
+                        help="slices per window (default 3000, the "
+                             "paper's 3 s at 1 ms)")
+        fp.add_argument("--concurrency", type=_nonnegative_int, default=0,
+                        help="tenants interleaved per scheduling round "
+                             "(0 = all)")
+        fp.add_argument("--workload", default="website",
+                        choices=("website", "keystroke", "dnn", "rsa"))
+        fp.add_argument("--epsilon-cap", type=_positive_float, default=None,
+                        help="per-tenant composed-eps quota "
+                             "(default: uncapped)")
+        fp.add_argument("--artifact", default="",
+                        help="deployment artifact JSON calibrating the "
+                             "fleet (default: synthetic calibration)")
+        fp.add_argument("--registry", default="",
+                        help="artifact registry directory; loads the "
+                             "latest version for (processor, workload)")
+        fp.add_argument("--fault-plan", default="", metavar="JSON",
+                        help="arm deterministic fault injection "
+                             "(fleet.provision / fleet.admit chaos)")
+        fp.add_argument("--state-dir", default="",
+                        help="directory for fleet-status.json")
+        _add_telemetry_options(fp)
+
+    fp = fleet_sub.add_parser("serve",
+                              help="serve a replayed multi-tenant load")
+    _add_fleet_load_options(fp)
+    fp.set_defaults(func=cmd_fleet_serve)
+
+    fp = fleet_sub.add_parser("replay",
+                              help="replay the same load repeatedly and "
+                                   "verify bit-identity")
+    _add_fleet_load_options(fp)
+    fp.add_argument("--repeat", type=_positive_int, default=2,
+                    help="independent replays to compare (default 2)")
+    fp.set_defaults(func=cmd_fleet_replay)
+
+    fp = fleet_sub.add_parser("status",
+                              help="render fleet-status.json")
+    _add_logging(fp)
+    fp.add_argument("--state-dir", required=True,
+                    help="directory holding fleet-status.json")
+    fp.set_defaults(func=cmd_fleet_status)
 
     p = sub.add_parser("report",
                        help="render a deployment artifact and/or a "

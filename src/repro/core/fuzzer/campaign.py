@@ -61,6 +61,7 @@ from repro.resilience.supervisor import (
     SupervisorPolicy,
 )
 from repro.telemetry import runtime as telemetry
+from repro.utils.rng import derive_stream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.core.fuzzer.fuzzer import EventFuzzer, FuzzingReport
@@ -145,12 +146,12 @@ def gadget_stream(entropy: int, gadget_index: int) -> np.random.Generator:
     """The RNG stream owned by gadget ``gadget_index``.
 
     Derived from the campaign entropy with the gadget index as a
-    ``SeedSequence`` spawn key: statistically independent across
-    gadgets, and — unlike drawing per-shard seeds from a sequential
-    stream — independent of how the budget is partitioned into shards.
+    ``SeedSequence`` spawn key (:func:`repro.utils.rng.derive_stream`):
+    statistically independent across gadgets, and — unlike drawing
+    per-shard seeds from a sequential stream — independent of how the
+    budget is partitioned into shards.
     """
-    seq = np.random.SeedSequence(entropy=entropy, spawn_key=(gadget_index,))
-    return np.random.default_rng(seq)
+    return derive_stream(entropy, gadget_index)
 
 
 # -- per-process caches ---------------------------------------------------

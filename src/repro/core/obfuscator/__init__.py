@@ -13,6 +13,12 @@ from repro.core.obfuscator.dp import (
     LaplaceMechanism,
     laplace_sample,
 )
+from repro.core.obfuscator.budget import (
+    BudgetExhausted,
+    PrivacyAccountant,
+    advanced_composition,
+    sequential_composition,
+)
 from repro.core.obfuscator.noise import NoiseCalculator, NoiseExhausted
 from repro.core.obfuscator.injector import (
     InjectionReport,
@@ -31,6 +37,7 @@ from repro.core.obfuscator.daemon import UserspaceDaemon
 from repro.core.obfuscator.obfuscator import EventObfuscator, estimate_sensitivity
 
 __all__ = [
+    "BudgetExhausted",
     "DpMechanism",
     "DstarMechanism",
     "EventObfuscator",
@@ -42,11 +49,14 @@ __all__ = [
     "NoiseCalculator",
     "NoiseExhausted",
     "NoiseInjector",
+    "PrivacyAccountant",
     "RandomNoiseInjector",
     "SecretTiedNoise",
     "UserspaceDaemon",
+    "advanced_composition",
     "default_noise_components",
     "default_noise_segment",
     "estimate_sensitivity",
     "laplace_sample",
+    "sequential_composition",
 ]

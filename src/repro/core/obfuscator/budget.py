@@ -23,6 +23,15 @@ from dataclasses import dataclass, field
 from repro.telemetry import runtime as _telemetry
 
 
+class BudgetExhausted(RuntimeError):
+    """Raised when a release would push composed ε past the cap.
+
+    Mirrors :class:`repro.core.obfuscator.noise.NoiseExhausted`: the
+    fail-closed answer to running out of budget is to refuse the
+    release, never to serve an unnoised (or under-accounted) value.
+    """
+
+
 def sequential_composition(epsilon: float, releases: int) -> float:
     """Basic composition: ``releases`` ε-DP outputs are (T·ε)-DP."""
     if epsilon <= 0:
@@ -59,10 +68,17 @@ class PrivacyAccountant:
         The ε of each slice's Laplace release.
     delta:
         Failure probability for the advanced-composition statement.
+    epsilon_cap:
+        Hard quota on the *basic* composed ε ``releases ·
+        per_slice_epsilon``. Checked against the basic bound because it
+        is monotone in ``releases`` (the advanced bound can cross back
+        under it), so an admitted window can never un-exhaust the
+        budget. ``inf`` (the default) disables the cap.
     """
 
     per_slice_epsilon: float
     delta: float = 1e-6
+    epsilon_cap: float = math.inf
     releases: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -70,11 +86,47 @@ class PrivacyAccountant:
             raise ValueError("per_slice_epsilon must be positive")
         if not 0.0 < self.delta < 1.0:
             raise ValueError("delta must be in (0, 1)")
+        if self.epsilon_cap <= 0:
+            raise ValueError("epsilon_cap must be positive")
 
-    def record(self, slices: int = 1) -> None:
-        """Record ``slices`` additional releases (and feed the ε-ledger)."""
+    def would_exceed(self, slices: int = 1) -> bool:
+        """Whether recording ``slices`` more releases would break the cap."""
         if slices < 1:
             raise ValueError(f"slices must be >= 1, got {slices}")
+        if math.isinf(self.epsilon_cap):
+            return False
+        projected = sequential_composition(self.per_slice_epsilon,
+                                           self.releases + slices)
+        return projected > self.epsilon_cap
+
+    @property
+    def remaining_slices(self) -> "int | None":
+        """Slices left under the cap, or ``None`` when uncapped."""
+        if math.isinf(self.epsilon_cap):
+            return None
+        total = int(math.floor(self.epsilon_cap / self.per_slice_epsilon
+                               + 1e-9))
+        return max(0, total - self.releases)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether not even one more slice fits under the cap."""
+        return self.would_exceed(1)
+
+    def record(self, slices: int = 1) -> None:
+        """Record ``slices`` additional releases (and feed the ε-ledger).
+
+        Raises :class:`BudgetExhausted` — recording nothing — when the
+        releases would push basic composed ε past ``epsilon_cap``.
+        """
+        if slices < 1:
+            raise ValueError(f"slices must be >= 1, got {slices}")
+        if self.would_exceed(slices):
+            raise BudgetExhausted(
+                f"recording {slices} slice(s) at eps="
+                f"{self.per_slice_epsilon:g} would exceed the cap "
+                f"{self.epsilon_cap:g} (composed eps now "
+                f"{self.basic_epsilon:g})")
         self.releases += slices
         _telemetry.ledger().record_release(self, slices)
 
@@ -120,16 +172,24 @@ class PrivacyAccountant:
     # -- checkpoint round trip -----------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain-dict state for checkpoints and artifacts."""
+        """Plain-dict state for checkpoints and artifacts.
+
+        An uncapped accountant serializes ``epsilon_cap`` as ``None``
+        so the payload stays strict-JSON (no ``Infinity`` literal).
+        """
         return {"per_slice_epsilon": self.per_slice_epsilon,
-                "delta": self.delta, "releases": self.releases}
+                "delta": self.delta, "releases": self.releases,
+                "epsilon_cap": (None if math.isinf(self.epsilon_cap)
+                                else self.epsilon_cap)}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PrivacyAccountant":
         """Rebuild an accountant, restoring its released-slice count."""
+        cap = payload.get("epsilon_cap")
         accountant = cls(
             per_slice_epsilon=float(payload["per_slice_epsilon"]),
-            delta=float(payload.get("delta", 1e-6)))
+            delta=float(payload.get("delta", 1e-6)),
+            epsilon_cap=(math.inf if cap is None else float(cap)))
         releases = int(payload.get("releases", 0))
         if releases < 0:
             raise ValueError(f"releases must be >= 0, got {releases}")

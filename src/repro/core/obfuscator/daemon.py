@@ -32,18 +32,25 @@ class UserspaceDaemon:
         Converts noise counts into gadget repetitions.
     kernel_module:
         Source of live HPC samples (required by the d* mechanism).
+    calculator:
+        Optional replacement for the default buffered
+        :class:`NoiseCalculator` — e.g. one whose ``supplier`` pulls
+        from a fleet-provisioned per-tenant buffer. The daemon uses it
+        as-is; it must serve draws at the mechanism's scale.
     """
 
     def __init__(self, mechanism: DpMechanism, injector: NoiseInjector,
                  kernel_module: KernelModule | None = None,
-                 rng: "int | np.random.Generator | None" = None) -> None:
+                 rng: "int | np.random.Generator | None" = None,
+                 calculator: "NoiseCalculator | None" = None) -> None:
         self.mechanism = mechanism
         self.injector = injector
         self.kernel_module = kernel_module or KernelModule()
         self._rng = ensure_rng(rng)
         # The Laplace path pre-buffers draws at the mechanism's scale.
         scale = mechanism.sensitivity / mechanism.epsilon
-        self.calculator = NoiseCalculator(scale, rng=self._rng)
+        self.calculator = (calculator if calculator is not None
+                           else NoiseCalculator(scale, rng=self._rng))
         self.last_report: InjectionReport | None = None
         #: Logical heartbeat the watchdog monitors: bumps once per
         #: noise-window computation, so a wedged daemon stops beating.

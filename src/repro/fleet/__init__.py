@@ -1,0 +1,70 @@
+"""The multi-tenant fleet control plane.
+
+Scales the Event Obfuscator from one protected VM to N SEV guests on a
+host: a versioned artifact registry hands the offline stage's output to
+every tenant, a provisioning service batch-precomputes each tenant's
+value-independent injection plan from one seeded RNG tree, an admission
+controller polices per-tenant ε-quotas and noise backpressure (fail
+closed on both), and a scheduler multiplexes daemon heartbeats,
+watchdog restarts, and host HPC reads across the fleet. A trace-replay
+load generator drives it deterministically enough to assert
+bit-identity across runs.
+"""
+
+from repro.fleet.admission import AdmissionController, AdmissionDecision
+from repro.fleet.controlplane import (
+    FleetControlPlane,
+    TenantRuntime,
+    TenantSpec,
+)
+from repro.fleet.ledger import FleetLedger, UnknownTenant
+from repro.fleet.loadgen import (
+    WORKLOAD_FACTORIES,
+    LoadGenerator,
+    ReplayReport,
+    default_specs,
+    make_workload,
+    record_trace,
+)
+from repro.fleet.provisioner import (
+    DEFAULT_CAPACITY,
+    DEFAULT_WATERMARK,
+    NoiseProvisioner,
+    TenantNoiseBuffer,
+)
+from repro.fleet.registry import (
+    ArtifactCompatibilityError,
+    ArtifactRegistry,
+    RegistryEntry,
+    RegistryIntegrityError,
+    check_compatible,
+    default_artifact,
+    event_weight_matrix,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ArtifactCompatibilityError",
+    "ArtifactRegistry",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_WATERMARK",
+    "FleetControlPlane",
+    "FleetLedger",
+    "LoadGenerator",
+    "NoiseProvisioner",
+    "RegistryEntry",
+    "RegistryIntegrityError",
+    "ReplayReport",
+    "TenantNoiseBuffer",
+    "TenantRuntime",
+    "TenantSpec",
+    "UnknownTenant",
+    "WORKLOAD_FACTORIES",
+    "check_compatible",
+    "default_artifact",
+    "default_specs",
+    "event_weight_matrix",
+    "make_workload",
+    "record_trace",
+]

@@ -1,0 +1,122 @@
+"""The fleet's central ε-ledger: one accountant per tenant.
+
+Multi-tenancy must not pool privacy budget: each tenant's guarantee is
+its own, so the ledger keeps one capped
+:class:`~repro.core.obfuscator.budget.PrivacyAccountant` per tenant and
+mirrors every tenant's composed guarantee into telemetry
+(``privacy.tenant.<id>.*`` gauges via
+:meth:`~repro.telemetry.ledger.PrivacyLedger.sync_tenant`). Accounting
+is fail-closed end to end: a release that would exceed the tenant's
+quota raises :class:`~repro.core.obfuscator.budget.BudgetExhausted`
+*before* any state changes, and a stalled (withheld) window is counted
+but spends nothing.
+
+Tenant isolation is structural — there is no cross-tenant state here
+beyond the dict itself, so exhausting tenant A cannot perturb a single
+record of tenant B.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.obfuscator.budget import PrivacyAccountant
+from repro.telemetry import runtime as telemetry
+
+
+class UnknownTenant(KeyError):
+    """An operation referenced a tenant id never registered."""
+
+
+class FleetLedger:
+    """Per-tenant privacy accounting for one fleet."""
+
+    def __init__(self) -> None:
+        self._accountants: dict[str, PrivacyAccountant] = {}
+        self._stalls: dict[str, int] = {}
+        self._rejected: dict[str, int] = {}
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._accountants
+
+    @property
+    def tenant_ids(self) -> list[str]:
+        return sorted(self._accountants)
+
+    def register(self, tenant_id: str, per_slice_epsilon: float,
+                 delta: float = 1e-6,
+                 epsilon_cap: float = math.inf,
+                 state: "dict | None" = None) -> PrivacyAccountant:
+        """Create (or restore) tenant ``tenant_id``'s accountant.
+
+        ``state`` restores a checkpointed accountant (e.g. carried in a
+        deployment artifact); its ε-per-slice must match the fleet's
+        mechanism, exactly as
+        :class:`~repro.core.obfuscator.EventObfuscator` enforces.
+        """
+        if tenant_id in self._accountants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        if state is not None:
+            accountant = PrivacyAccountant.from_dict(state)
+            if accountant.per_slice_epsilon != per_slice_epsilon:
+                raise ValueError(
+                    f"restored accountant for {tenant_id!r} was calibrated "
+                    f"for eps={accountant.per_slice_epsilon:g} per slice, "
+                    f"but the fleet releases at eps={per_slice_epsilon:g}")
+            if not math.isinf(epsilon_cap):
+                accountant.epsilon_cap = float(epsilon_cap)
+        else:
+            accountant = PrivacyAccountant(
+                per_slice_epsilon=per_slice_epsilon, delta=delta,
+                epsilon_cap=epsilon_cap)
+        self._accountants[tenant_id] = accountant
+        self._stalls[tenant_id] = 0
+        self._rejected[tenant_id] = 0
+        telemetry.ledger().sync_tenant(tenant_id, accountant)
+        return accountant
+
+    def accountant(self, tenant_id: str) -> PrivacyAccountant:
+        try:
+            return self._accountants[tenant_id]
+        except KeyError as exc:
+            raise UnknownTenant(f"no such tenant {tenant_id!r}") from exc
+
+    def would_exceed(self, tenant_id: str, slices: int) -> bool:
+        """Whether releasing ``slices`` would break the tenant's quota."""
+        return self.accountant(tenant_id).would_exceed(slices)
+
+    def account(self, tenant_id: str, slices: int) -> None:
+        """Record ``slices`` released for one tenant (raises past quota)."""
+        accountant = self.accountant(tenant_id)
+        accountant.record(slices)
+        telemetry.ledger().sync_tenant(tenant_id, accountant)
+
+    def record_stall(self, tenant_id: str, slices: int) -> None:
+        """A withheld window: counted, but no budget spent."""
+        self.accountant(tenant_id)  # validate the id
+        self._stalls[tenant_id] += slices
+        telemetry.ledger().record_stall(slices)
+
+    def record_rejection(self, tenant_id: str) -> None:
+        """One admission rejection (no noise drawn, no budget spent)."""
+        self.accountant(tenant_id)
+        self._rejected[tenant_id] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-tenant budget state, tenant ids sorted."""
+        out = {}
+        for tenant_id in self.tenant_ids:
+            accountant = self._accountants[tenant_id]
+            out[tenant_id] = {
+                "releases": accountant.releases,
+                "per_slice_epsilon": accountant.per_slice_epsilon,
+                "epsilon_spent": accountant.tightest_epsilon,
+                "epsilon_basic": accountant.basic_epsilon,
+                "epsilon_cap": (None if math.isinf(accountant.epsilon_cap)
+                                else accountant.epsilon_cap),
+                "remaining_slices": accountant.remaining_slices,
+                "exhausted": accountant.exhausted,
+                "stalled_slices": self._stalls[tenant_id],
+                "rejected_windows": self._rejected[tenant_id],
+            }
+        return out

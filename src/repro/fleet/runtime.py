@@ -1,0 +1,51 @@
+"""Process-global fleet runtime.
+
+The fourth user of :class:`repro.utils.runtime.ProcessGlobal`: one
+control plane per process, installed by the ``aegis fleet`` CLI (or a
+test scope) and reachable from anywhere without threading the object
+through every call. Unlike the telemetry/cache/resilience slots there
+is no meaningful no-op control plane, so the disabled default is
+``None`` and :func:`active` raises when nothing is installed — serving
+reads against a fleet that was never configured is a bug, not a case
+to silently absorb.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.utils.runtime import ProcessGlobal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.controlplane import FleetControlPlane
+
+_slot: "ProcessGlobal[FleetControlPlane | None]" = ProcessGlobal(None)
+
+
+def configure(plane: "FleetControlPlane") -> "FleetControlPlane":
+    """Install ``plane`` as the process-global fleet; returns it."""
+    return _slot.install(plane)
+
+
+def disable() -> None:
+    """Remove the installed control plane."""
+    _slot.reset()
+
+
+def enabled() -> bool:
+    return _slot.enabled()
+
+
+def active() -> "FleetControlPlane":
+    """The installed control plane; raises when none is configured."""
+    plane = _slot.active()
+    if plane is None:
+        raise RuntimeError(
+            "no fleet control plane configured in this process; call "
+            "repro.fleet.runtime.configure(...) first")
+    return plane
+
+
+def session(plane: "FleetControlPlane"):
+    """Scoped installation: install, yield, restore the previous one."""
+    return _slot.scoped(plane)

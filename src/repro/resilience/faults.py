@@ -46,7 +46,8 @@ from repro.telemetry import runtime as telemetry
 
 #: Every site instrumented with :func:`repro.resilience.runtime.check`.
 FAULT_POINTS = ("campaign.shard", "cache.store.read", "checkpoint.write",
-                "daemon.noise_refill", "kernel_module.read")
+                "daemon.noise_refill", "fleet.admit", "fleet.provision",
+                "kernel_module.read")
 
 #: Supported failure modes.
 FAULT_MODES = ("raise", "hang", "corrupt", "kill")

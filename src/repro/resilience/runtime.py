@@ -4,7 +4,9 @@ Mirrors :mod:`repro.telemetry.runtime` and :mod:`repro.cache.runtime`:
 instrumented sites never own an injector, they call :func:`check` and
 get the process-global one. Until :func:`arm` installs a plan the
 shared no-op injector answers, so every fault point costs one function
-call and an attribute read in production.
+call and an attribute read in production. The slot is a
+:class:`repro.utils.runtime.ProcessGlobal`, the helper all four
+runtime modules (telemetry, cache, resilience, fleet) share.
 
 Campaign worker processes arm their own injector (the supervisor ships
 the :class:`~repro.resilience.faults.FaultPlan` with each shard task)
@@ -24,35 +26,34 @@ from repro.resilience.faults import (
     FaultSpec,
     NoopFaultInjector,
 )
+from repro.utils.runtime import ProcessGlobal
 
-_active: "FaultInjector | NoopFaultInjector" = NOOP_INJECTOR
+_slot: "ProcessGlobal[FaultInjector | NoopFaultInjector]" = \
+    ProcessGlobal(NOOP_INJECTOR)
 
 
 def arm(plan: FaultPlan, sacrificial: bool = False) -> FaultInjector:
     """Install a live injector for ``plan``; returns it."""
-    global _active
-    _active = FaultInjector(plan, sacrificial=sacrificial)
-    return _active
+    return _slot.install(FaultInjector(plan, sacrificial=sacrificial))
 
 
 def disarm() -> None:
     """Restore the no-op injector."""
-    global _active
-    _active = NOOP_INJECTOR
+    _slot.reset()
 
 
 def armed() -> bool:
-    return _active is not NOOP_INJECTOR
+    return _slot.enabled()
 
 
 def active() -> "FaultInjector | NoopFaultInjector":
-    return _active
+    return _slot.active()
 
 
 def check(point: str, key: int = 0, attempt: "int | None" = None,
           span: "tuple[int, int] | None" = None) -> "FaultSpec | None":
     """Hit one fault point on the process-global injector."""
-    return _active.check(point, key=key, attempt=attempt, span=span)
+    return _slot.active().check(point, key=key, attempt=attempt, span=span)
 
 
 @contextmanager
@@ -62,13 +63,9 @@ def session(plan: "FaultPlan | None", sacrificial: bool = False):
     ``plan=None`` yields the currently armed injector unchanged, so
     call sites can pass an optional plan straight through.
     """
-    global _active
     if plan is None:
-        yield _active
+        yield _slot.active()
         return
-    previous = _active
-    injector = arm(plan, sacrificial=sacrificial)
-    try:
+    with _slot.scoped(FaultInjector(plan, sacrificial=sacrificial)) \
+            as injector:
         yield injector
-    finally:
-        _active = previous

@@ -70,6 +70,26 @@ class PrivacyLedger:
         registry.gauge("privacy.epsilon_spent").set(
             accountant.tightest_epsilon)
 
+    def sync_tenant(self, tenant_id: str,
+                    accountant: "PrivacyAccountant") -> None:
+        """Refresh one fleet tenant's budget gauges.
+
+        Per-tenant names live under ``privacy.tenant.<id>.*`` next to
+        the fleet-wide aggregates, so a run report can state each
+        tenant's composed guarantee (and remaining quota) separately —
+        the multi-tenant ledger is per-tenant state plus these gauges,
+        never one pooled accountant.
+        """
+        registry = self._registry
+        prefix = f"privacy.tenant.{tenant_id}"
+        registry.gauge(f"{prefix}.epsilon_spent").set(
+            accountant.tightest_epsilon)
+        registry.gauge(f"{prefix}.epsilon_basic").set(
+            accountant.basic_epsilon)
+        remaining = accountant.remaining_slices
+        if remaining is not None:
+            registry.gauge(f"{prefix}.remaining_slices").set(remaining)
+
     def composed(self) -> dict:
         """The live composed guarantee, straight from the registry."""
         registry = self._registry
@@ -98,6 +118,9 @@ class NoopPrivacyLedger:
         return None
 
     def sync(self, accountant) -> None:
+        return None
+
+    def sync_tenant(self, tenant_id: str, accountant) -> None:
         return None
 
     def composed(self) -> dict:

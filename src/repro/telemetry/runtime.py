@@ -11,12 +11,13 @@ hot loops.
 per-shard session (``process="shard-00003"``) around each shard so its
 spans and metrics land in shard-owned files that the parent merges
 deterministically (:mod:`repro.telemetry.aggregate`), then the previous
-runtime — the parent's, under fork — is restored.
+runtime — the parent's, under fork — is restored. The global slot is a
+:class:`repro.utils.runtime.ProcessGlobal`, the helper all four
+runtime modules (telemetry, cache, resilience, fleet) share.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,6 +28,7 @@ from repro.telemetry.metrics import (
     NoopMetricsRegistry,
 )
 from repro.telemetry.spans import NOOP_TRACER, NoopTracer, Tracer
+from repro.utils.runtime import ProcessGlobal
 
 
 @dataclass
@@ -57,7 +59,18 @@ _DISABLED = TelemetryRuntime(tracer=NOOP_TRACER, metrics=NOOP_METRICS,
                              ledger=NOOP_LEDGER, trace_dir=None,
                              process="noop")
 
-_active = _DISABLED
+_slot: "ProcessGlobal[TelemetryRuntime]" = ProcessGlobal(_DISABLED)
+
+
+def _build(trace_dir: "str | Path | None", metrics_enabled: bool,
+           process: str) -> TelemetryRuntime:
+    registry = MetricsRegistry() if metrics_enabled else NOOP_METRICS
+    return TelemetryRuntime(
+        tracer=Tracer(process=process),
+        metrics=registry,
+        ledger=(PrivacyLedger(registry) if metrics_enabled else NOOP_LEDGER),
+        trace_dir=(Path(trace_dir) if trace_dir is not None else None),
+        process=process)
 
 
 def configure(trace_dir: "str | Path | None" = None,
@@ -69,53 +82,43 @@ def configure(trace_dir: "str | Path | None" = None,
     the accessors); with a directory, :func:`flush` exports
     ``trace-<process>.jsonl`` and ``metrics-<process>.json``.
     """
-    global _active
-    registry = MetricsRegistry() if metrics_enabled else NOOP_METRICS
-    _active = TelemetryRuntime(
-        tracer=Tracer(process=process),
-        metrics=registry,
-        ledger=(PrivacyLedger(registry) if metrics_enabled else NOOP_LEDGER),
-        trace_dir=(Path(trace_dir) if trace_dir is not None else None),
-        process=process)
-    return _active
+    return _slot.install(_build(trace_dir, metrics_enabled, process))
 
 
 def disable() -> None:
     """Restore the no-op runtime."""
-    global _active
-    _active = _DISABLED
+    _slot.reset()
 
 
 def enabled() -> bool:
-    return _active is not _DISABLED
+    return _slot.enabled()
 
 
 def active() -> TelemetryRuntime:
-    return _active
+    return _slot.active()
 
 
 def tracer() -> "Tracer | NoopTracer":
-    return _active.tracer
+    return _slot.active().tracer
 
 
 def metrics() -> "MetricsRegistry | NoopMetricsRegistry":
-    return _active.metrics
+    return _slot.active().metrics
 
 
 def ledger():
-    return _active.ledger
+    return _slot.active().ledger
 
 
 def trace_dir() -> "Path | None":
-    return _active.trace_dir
+    return _slot.active().trace_dir
 
 
 def flush() -> "list[Path]":
     """Export the active runtime's files (no-op when disabled)."""
-    return _active.flush()
+    return _slot.active().flush()
 
 
-@contextmanager
 def session(trace_dir: "str | Path | None" = None,
             metrics_enabled: bool = True, process: str = "main"):
     """Scoped runtime: configure, yield, flush, restore the previous one.
@@ -123,12 +126,5 @@ def session(trace_dir: "str | Path | None" = None,
     Flushing happens even when the body raises, so a crashed stage still
     leaves its partial telemetry on disk for post-mortems.
     """
-    global _active
-    previous = _active
-    runtime = configure(trace_dir=trace_dir, metrics_enabled=metrics_enabled,
-                        process=process)
-    try:
-        yield runtime
-    finally:
-        runtime.flush()
-        _active = previous
+    return _slot.scoped(_build(trace_dir, metrics_enabled, process),
+                        on_exit=TelemetryRuntime.flush)

@@ -8,9 +8,43 @@ not perturb another module's stream.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 RngLike = "int | np.random.Generator | None"
+
+
+def stream_key(label: "int | str") -> int:
+    """A deterministic non-negative integer key for a stream label.
+
+    Integers pass through unchanged; strings (tenant ids, stage names)
+    hash through SHA-256 so the key does not depend on Python's
+    per-process string-hash seed.
+    """
+    if isinstance(label, int):
+        return label
+    digest = hashlib.sha256(str(label).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_stream(entropy: int, *labels: "int | str"
+                  ) -> np.random.Generator:
+    """The RNG stream owned by ``labels`` under root ``entropy``.
+
+    Derived with the labels as a ``SeedSequence`` spawn key:
+    statistically independent across label tuples, and — unlike
+    drawing per-owner seeds from one sequential stream — independent
+    of how many other streams exist or in which order they are
+    created. This is what lets a fuzzing campaign re-derive gadget
+    *i*'s stream regardless of sharding, and the fleet provisioner
+    reproduce tenant T's noise sequence with no other tenant present.
+    """
+    if not labels:
+        raise ValueError("derive_stream needs at least one label")
+    key = tuple(stream_key(label) for label in labels)
+    seq = np.random.SeedSequence(entropy=entropy, spawn_key=key)
+    return np.random.default_rng(seq)
 
 
 def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:

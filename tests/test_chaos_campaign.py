@@ -225,3 +225,45 @@ class TestPlanGeometry:
         starts = tuple(s.start for s in plan_shards(fuzzer.gadget_budget,
                                                     fuzzer.shard_size))
         assert starts == SHARD_STARTS
+
+
+class TestFleetChaos:
+    """The fleet control plane under the same seeded chaos sweep."""
+
+    @staticmethod
+    def _replay(plan):
+        from repro.fleet import (
+            FleetControlPlane,
+            LoadGenerator,
+            default_artifact,
+            default_specs,
+        )
+        plane = FleetControlPlane(default_artifact(), seed=CHAOS_SEED,
+                                  capacity=256, watermark=64,
+                                  refill_retries=4)
+        generator = LoadGenerator(plane, default_specs(3), windows=2,
+                                  slices_per_window=60)
+        with resilience.session(plan):
+            return generator.run()
+
+    def test_absorbed_provision_faults_keep_replay_bit_identical(self):
+        """Transient ``fleet.provision`` faults under every chaos seed
+        must be retry-absorbed without perturbing a single tenant's
+        noise sequence or ε-ledger."""
+        baseline_report = self._replay(None)
+        chaos_report = self._replay(chaos_plan(
+            FaultSpec(point="fleet.provision", mode="raise",
+                      probability=0.5, times=1)))
+        assert chaos_report.rejected_windows == 0
+        assert chaos_report.fingerprint() == baseline_report.fingerprint()
+
+    def test_wedged_provisioner_fails_closed_fleet_wide(self):
+        """Persistent provisioning faults must starve every window into
+        backpressure — never an un-noised read, never spent budget."""
+        report = self._replay(chaos_plan(
+            FaultSpec(point="fleet.provision", mode="raise", times=0)))
+        assert report.served_windows == 0
+        assert all(set(reasons) == {"backpressure"}
+                   for reasons in report.rejections.values())
+        assert all(row["releases"] == 0 and row["stalled_slices"] > 0
+                   for row in report.budgets.values())

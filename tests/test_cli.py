@@ -143,3 +143,77 @@ class TestCommands:
     def test_unknown_workload_exits(self):
         with pytest.raises(SystemExit):
             main(["profile", "--workload", "database"])
+
+
+class TestFleetCli:
+    SMALL = ["--tenants", "2", "--windows", "2", "--slices", "50"]
+
+    def test_fleet_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["fleet", "serve"])
+        assert args.tenants == 4
+        assert args.slices == 3000
+        assert args.concurrency == 0
+        assert args.epsilon_cap is None
+        assert args.func.__name__ == "cmd_fleet_serve"
+
+    def test_status_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "status"])
+
+    def test_artifact_conflicts_with_registry(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["fleet", "serve", "--artifact", "a.json",
+                  "--registry", "reg"])
+
+    def test_replay_repeat_must_compare(self):
+        with pytest.raises(SystemExit, match="--repeat"):
+            main(["fleet", "replay", *self.SMALL, "--repeat", "1"])
+
+    def test_serve_then_status(self, tmp_path, capsys):
+        code = main(["fleet", "serve", *self.SMALL,
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        status_path = tmp_path / "fleet-status.json"
+        assert status_path.is_file()
+        out = capsys.readouterr().out
+        assert "served 4 windows" in out
+
+        code = main(["fleet", "status", "--state-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t00" in out and "t01" in out
+
+    def test_replay_is_bit_identical_under_fault(self, capsys):
+        plan = ('{"seed": 3, "faults": [{"point": "fleet.provision", '
+                '"mode": "raise", "times": 1}]}')
+        code = main(["fleet", "replay", *self.SMALL,
+                     "--repeat", "2", "--fault-plan", plan])
+        assert code == 0
+        assert "bit-identical across 2 runs" in capsys.readouterr().out
+
+    def test_bad_fault_plan_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "serve", *self.SMALL,
+                  "--fault-plan", "{not json"])
+
+    def test_epsilon_cap_reported(self, capsys):
+        code = main(["fleet", "serve", "--tenants", "1", "--windows", "3",
+                     "--slices", "50", "--epsilon-cap", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget-exhausted" in out
+        assert "budget-exhausted tenants: t00" in out
+
+    def test_registry_round_trip(self, tmp_path, capsys):
+        from repro.fleet import ArtifactRegistry, default_artifact
+        registry_dir = tmp_path / "registry"
+        ArtifactRegistry(registry_dir).publish(default_artifact(),
+                                               workload="website")
+        code = main(["fleet", "serve", *self.SMALL,
+                     "--registry", str(registry_dir)])
+        assert code == 0
+        assert "served 4 windows" in capsys.readouterr().out
