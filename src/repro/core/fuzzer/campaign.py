@@ -48,6 +48,7 @@ from repro.cache.fingerprint import (
 from repro.core.fuzzer.cleanup import CleanupReport, InstructionCleaner
 from repro.core.fuzzer.generator import ExecutionHarness
 from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.cpu import batch
 from repro.cpu.core import Core
 from repro.isa.catalog import shared_catalog
 from repro.isa.legality import MICROARCH_PROFILES
@@ -213,6 +214,11 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
         legal = default_cleanup(config.microarch).legal
         core = Core(config.processor_model, rng=0)
         harness = ExecutionHarness(core, unroll=config.unroll, rng=0)
+        # The batch engine's archetype memo is scoped to one shard:
+        # clearing here makes every measurement (and the batch.evals /
+        # batch.fallback_scalar split) a pure function of the shard,
+        # invariant to worker count, scheduling, and process history.
+        batch.clear_memo()
         grammar = GadgetGrammar(
             legal, sequence_length=config.sequence_length,
             empty_reset_prob=config.empty_reset_prob, rng=0)
@@ -242,7 +248,11 @@ def screen_shard(config: ShardConfig, shard: ShardSpec) -> ShardResult:
                     deltas = measured.deltas
                     cache.put(key, CachedMeasurement.from_measured(measured))
             else:
-                deltas = harness.measure_gadget(gadget, events).deltas
+                # Reset + warm-up above put the core in the canonical
+                # state, so the batch engine's archetype memo can serve
+                # repeat gadget shapes without executing (bit-identical
+                # to measure_gadget by the equivalence suite).
+                deltas = harness.screen_measure(gadget, events).deltas
             for j in np.flatnonzero(deltas > thresholds):
                 screened[int(events[j])].append(
                     (gadget_index, float(deltas[j])))

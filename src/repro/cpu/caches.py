@@ -66,6 +66,9 @@ class Cache:
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # Indices of non-empty sets, so reset/snapshot cost scales with
+        # occupancy instead of capacity (the LLC alone has 4096 sets).
+        self._occupied: set[int] = set()
 
     def _locate(self, address: int) -> tuple[int, int]:
         line = address // self.line_size
@@ -96,6 +99,7 @@ class Cache:
             ways.popitem(last=False)
             self.stats.evictions += 1
         ways[tag] = write
+        self._occupied.add(set_index)
         return False
 
     def flush(self, address: int) -> bool:
@@ -105,14 +109,18 @@ class Cache:
         if tag in ways:
             del ways[tag]
             self.stats.flushes += 1
+            if not ways:
+                self._occupied.discard(set_index)
             return True
         return False
 
     def flush_all(self) -> None:
         """Invalidate the whole cache (WBINVD-style)."""
-        for ways in self._sets:
+        for set_index in self._occupied:
+            ways = self._sets[set_index]
             self.stats.flushes += len(ways)
             ways.clear()
+        self._occupied.clear()
 
     def reset(self) -> None:
         """Return the cache to power-on state (no resident lines).
@@ -121,15 +129,24 @@ class Cache:
         is cheap enough to run per measurement: only non-empty sets are
         touched, so the cost scales with occupancy, not capacity.
         """
-        for ways in self._sets:
-            if ways:
-                ways.clear()
+        for set_index in self._occupied:
+            self._sets[set_index].clear()
+        self._occupied.clear()
         self.stats = CacheStats()
 
     @property
     def occupancy(self) -> int:
         """Number of lines currently resident."""
-        return sum(len(ways) for ways in self._sets)
+        return sum(len(self._sets[i]) for i in self._occupied)
+
+    def resident_lines(self) -> tuple:
+        """Hashable snapshot of resident lines, LRU order preserved.
+
+        Used by the batch engine's state signatures: two caches with
+        equal snapshots behave identically for every future access.
+        """
+        return tuple((i, tuple(self._sets[i].items()))
+                     for i in sorted(self._occupied) if self._sets[i])
 
 
 @dataclass

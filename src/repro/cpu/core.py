@@ -104,6 +104,13 @@ class Core:
         self.stack_page: Page = self.memory.map_page("stack")
         self._rng = root
         self._stack_depth = 0
+        # Canonical-state tracking for the batch engine: ``_pristine``
+        # means the microarch state is exactly post-reset; the harness
+        # warm-up promotes that to ``_canonical`` (reset + deterministic
+        # warm-up), the state the screening memo is keyed against. Any
+        # execution invalidates both.
+        self._pristine = True
+        self._canonical = False
 
     # ---------------- detailed per-instruction path ----------------
 
@@ -115,6 +122,8 @@ class Core:
         step in normal fuzzing flows) terminate execution with
         ``faulted=True``.
         """
+        self._pristine = False
+        self._canonical = False
         signals = zero_signals()
         cycles = 0
         rdpmc_values: list[int] = []
@@ -148,20 +157,29 @@ class Core:
         return ExecutionResult(signals=signals, cycles=cycles,
                                rdpmc_values=rdpmc_values)
 
-    def execute_batch(self, programs: "list[Program]",
-                      update_hpc: bool = True) -> list[ExecutionResult]:
+    def execute_batch(self, programs: "Program | list[Program] | None" = None,
+                      update_hpc: bool = True, *,
+                      repeats: "int | None" = None,
+                      seeds: "np.ndarray | None" = None
+                      ) -> list[ExecutionResult]:
         """Execute a batch of programs back to back, one result each.
 
         The batch is a single submission of sequential executions:
         microarchitectural state deliberately carries over from one
         program to the next, exactly as if the caller had looped over
-        :meth:`execute_program` itself. Measurement loops (confirmation
-        repetitions, warm-up passes) submit their repetition batch in
-        one call instead of re-entering the measurement path per
-        iteration.
+        :meth:`execute_program` itself — the vectorized engine in
+        :mod:`repro.cpu.batch` is proven bit-identical to that loop by
+        the differential equivalence suite.
+
+        ``programs`` may be a list, or a single :class:`Program`
+        combined with either ``repeats`` (execute it that many times)
+        or ``seeds`` (one execution per per-iteration seed; the
+        detailed path is deterministic, so seeds carry the batch
+        geometry and provenance rather than perturbing execution).
         """
-        return [self.execute_program(program, update_hpc=update_hpc)
-                for program in programs]
+        from repro.cpu import batch
+        return batch.execute_batch(self, programs, update_hpc=update_hpc,
+                                   repeats=repeats, seeds=seeds)
 
     def _charge_memory_stalls(self, signals: np.ndarray) -> int:
         """Stall cycles implied by the most recent access outcome."""
@@ -224,6 +242,8 @@ class Core:
         instruction-path signals), derives CYCLES from the slice
         duration, advances the clock, and feeds the HPC register file.
         """
+        self._pristine = False
+        self._canonical = False
         signals = block.signals.copy()
         cycles = block.duration_s * self.clock.frequency_hz
         if noisy:
@@ -237,6 +257,17 @@ class Core:
         self.clock.advance(int(cycles))
         self.hpc.accumulate(signals, noisy=noisy)
         return signals
+
+    def execute_blocks(self, blocks: "list[ActivityBlock]",
+                       noisy: bool = True) -> list[np.ndarray]:
+        """Consume a batch of activity slices, one signal vector each.
+
+        Bit-identical to looping :meth:`execute_block`: the vectorized
+        engine batches the interrupt draws and signal adjustments but
+        replays the scalar RNG stream and HPC fold order exactly.
+        """
+        from repro.cpu import batch
+        return batch.execute_blocks(self, blocks, noisy=noisy)
 
     # ----------------- measurement helpers -------------------------
 
@@ -256,6 +287,8 @@ class Core:
         self.prefetcher.reset()
         self._stack_depth = 0
         self._last_outcome = None
+        self._pristine = True
+        self._canonical = False
 
     def configure_measurement_environment(self) -> None:
         """Apply the harness mitigations from the paper (Section VI-D):

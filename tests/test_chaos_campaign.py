@@ -143,6 +143,44 @@ class TestChaosEquivalence:
             + resumed.stats.screened_shards == len(SHARD_STARTS)
 
 
+class TestVectorizedEngineChaos:
+    """The batched execution engine under the same seeded chaos sweep.
+
+    Screening now routes through ``repro.cpu.batch`` (archetype memo +
+    convergence replication); these tests prove the engine choice is
+    invisible to chaos equivalence: scalar and vectorized campaigns
+    share one baseline, and injected faults on the batched engine still
+    reproduce it bit for bit under every ``REPRO_CHAOS_SEED``.
+    """
+
+    def test_scalar_engine_shares_the_baseline(self, make_fuzzer, events,
+                                               baseline, monkeypatch):
+        from repro.cpu import batch
+        monkeypatch.setattr(batch, "FORCE_SCALAR", True)
+        scalar_report = make_fuzzer().fuzz(events)
+        assert report_key(scalar_report) == report_key(baseline)
+
+    def test_faults_on_batched_engine_match_baseline(self, make_fuzzer,
+                                                     events, baseline,
+                                                     tmp_path):
+        """Transient shard raises + corrupted cache objects on the
+        vectorized path: retries re-enter the batch engine (memo warm
+        or cold) and must converge to the fault-free report."""
+        plan = chaos_plan(
+            FaultSpec(point="campaign.shard", mode="raise",
+                      probability=0.5, times=1),
+            FaultSpec(point="cache.store.read", mode="corrupt",
+                      probability=0.6, times=1))
+        cache_dir = tmp_path / "cache"
+        warm = FuzzingCampaign(make_fuzzer(), cache_dir=cache_dir)
+        assert report_key(warm.run(events)) == report_key(baseline)
+        chaos = FuzzingCampaign(make_fuzzer(), cache_dir=cache_dir,
+                                fault_plan=plan,
+                                supervisor_policy=FAST_POLICY)
+        assert report_key(chaos.run(events)) == report_key(baseline)
+        assert chaos.stats.quarantined == []
+
+
 class TestWorkerKills:
     def test_killed_workers_recovered_by_pool_rebuild(self, make_fuzzer,
                                                       events, baseline):

@@ -81,6 +81,31 @@ class TestHarness:
         assert cumulative.shape == (1,)
         assert cumulative[0] == pytest.approx(per_iter.sum(), abs=1e-6)
 
+    def test_measure_iterations_digest_pinned(self, core, isa_catalog,
+                                              amd_catalog):
+        """Regression pin for the vectorized measure_iterations path.
+
+        The measured-iterations stream is a pure function of the
+        harness RNG root: one root draw seeds the per-iteration
+        execution seeds (distinct per iteration, not a duplicated
+        program list) and the interference stream. Any accidental
+        change to the derivation, the batched execution, or the noise
+        draws shows up as a digest change here.
+        """
+        import hashlib
+        harness = ExecutionHarness(core, unroll=16, rng=0)
+        events = np.array([
+            amd_catalog.index_of("RETIRED_UOPS"),
+            amd_catalog.index_of("DATA_CACHE_REFILLS_FROM_SYSTEM")])
+        per_iter, cumulative = harness.measure_iterations(
+            [isa_catalog.get("CLFLUSH m8"), isa_catalog.get("MOV r64,m64")],
+            events, iterations=12)
+        digest = hashlib.sha256(
+            np.round(per_iter, 6).tobytes()
+            + np.round(cumulative, 6).tobytes()).hexdigest()
+        assert digest == ("32a11870b5a14775c31dc3029693972f"
+                          "8131e9e779bebdd4d8435f6a683a444a")
+
     def test_idle_counter_reads_near_zero(self, harness, amd_catalog):
         event = np.array([amd_catalog.index_of("RETIRED_UOPS")])
         per_iter, cumulative = harness.measure_iterations([], event, 16)

@@ -349,3 +349,78 @@ def test_structural_key_ignores_wall_times():
     assert span.structural_key() == other.structural_key()
     payload = json.loads(json.dumps(span.to_dict()))
     assert telemetry.SpanRecord.from_dict(payload) == span
+
+
+# -- batch engine counters --------------------------------------------
+
+
+def test_batch_counters_noop_when_disabled():
+    """Without an active registry the helpers must not crash or
+    allocate anything."""
+    from repro.cpu import batch
+
+    batch.count_evals(5)
+    batch.count_fallback(2)
+    assert telemetry.metrics() is telemetry.NOOP_METRICS
+
+
+def test_batch_counters_split_memo_hits_from_fallback():
+    """``batch.evals`` counts every measurement served by the batch
+    layer; ``batch.fallback_scalar`` the subset that ran the scalar
+    interpreter — so dashboards see memo effectiveness directly."""
+    from repro.core.fuzzer.campaign import default_cleanup, gadget_stream
+    from repro.core.fuzzer.generator import ExecutionHarness
+    from repro.core.fuzzer.grammar import GadgetGrammar
+    from repro.cpu import batch
+    from repro.cpu.core import Core
+
+    batch.clear_memo()
+    events = np.array([10, 400])
+    core = Core("amd-epyc-7252", rng=np.random.default_rng(0))
+    harness = ExecutionHarness(core, rng=0)
+    grammar = GadgetGrammar(default_cleanup("amd-epyc-7252").legal, rng=0)
+    with telemetry.session():
+        for i in range(40):
+            gadget = grammar.sample(rng=gadget_stream(3, i))
+            core.reset_microarch_state()
+            harness.warm_measurement_state()
+            harness.set_rng(gadget_stream(3, i))
+            harness.screen_measure(gadget, events)
+        snapshot = telemetry.metrics().snapshot()
+    evals = snapshot["counters"]["batch.evals"]
+    fallback = snapshot["counters"]["batch.fallback_scalar"]
+    assert evals == 40.0
+    assert 0 < fallback < evals  # memo hits skipped the interpreter
+
+
+def test_batch_counters_on_convergence_replication():
+    """A long repeat batch reports every eval but only the scalar
+    prefix (pre-fixed-point executions) as fallback."""
+    from repro.core.fuzzer.generator import ExecutionHarness
+    from repro.cpu.core import Core
+    from repro.isa.catalog import shared_catalog
+
+    core = Core("amd-epyc-7252", rng=np.random.default_rng(0))
+    harness = ExecutionHarness(core, rng=0)
+    program = harness.build_program([shared_catalog().get("ADD r64,r64")])
+    with telemetry.session():
+        core.execute_batch(program, update_hpc=False, repeats=50)
+        snapshot = telemetry.metrics().snapshot()
+    assert snapshot["counters"]["batch.evals"] == 50.0
+    assert snapshot["counters"]["batch.fallback_scalar"] <= 8.0
+
+
+def test_batch_disable_env_forces_full_fallback(monkeypatch):
+    from repro.core.fuzzer.generator import ExecutionHarness
+    from repro.cpu.core import Core
+    from repro.isa.catalog import shared_catalog
+
+    monkeypatch.setenv("REPRO_BATCH_DISABLE", "1")
+    core = Core("amd-epyc-7252", rng=np.random.default_rng(0))
+    harness = ExecutionHarness(core, rng=0)
+    program = harness.build_program([shared_catalog().get("ADD r64,r64")])
+    with telemetry.session():
+        core.execute_batch(program, update_hpc=False, repeats=20)
+        snapshot = telemetry.metrics().snapshot()
+    assert snapshot["counters"]["batch.evals"] == 20.0
+    assert snapshot["counters"]["batch.fallback_scalar"] == 20.0
