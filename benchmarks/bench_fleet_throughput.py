@@ -30,6 +30,7 @@ from repro.fleet import (
     default_specs,
 )
 from repro.fleet.loadgen import make_workload
+from repro.observability import runtime as observability
 from repro.resilience import runtime as resilience
 from repro.resilience.faults import FaultPlan
 from repro.utils.rng import derive_stream
@@ -83,8 +84,12 @@ def _run_baseline(artifact, specs, event_weights):
     return elapsed, served
 
 
-def _run_fleet(artifact, specs, fault_plan=None):
-    """One fresh control plane replayed to a digest-bearing report."""
+def _run_fleet(artifact, specs, fault_plan=None, obs=False):
+    """One fresh control plane replayed to a digest-bearing report.
+
+    With ``obs`` the observability plane rides along and the per-window
+    serving-latency SLO readout is returned next to the report.
+    """
     with telemetry.session(process="main"), \
             resilience.session(fault_plan):
         # Buffer sized to the window with demand-paced refills, so the
@@ -95,7 +100,11 @@ def _run_fleet(artifact, specs, fault_plan=None):
         generator = LoadGenerator(plane, specs, windows=WINDOWS,
                                   slices_per_window=SLICES,
                                   slice_s=SLICE_S)
-        return generator.run()
+        if not obs:
+            return generator.run()
+        with observability.session() as runtime:
+            report = generator.run()
+            return report, runtime.slo.readout("fleet.serve_window")
 
 
 @pytest.mark.benchmark(group="fleet")
@@ -115,6 +124,7 @@ def test_fleet_throughput(benchmark):
     report = once(benchmark, lambda: _run_fleet(artifact, specs))
     repeat = _run_fleet(artifact, specs)
     faulted = _run_fleet(artifact, specs, fault_plan=FAULT_PLAN)
+    observed, slo = _run_fleet(artifact, specs, obs=True)
 
     assert report.rejected_windows == 0, report.rejections
     assert report.served_slices == baseline_slices \
@@ -122,10 +132,14 @@ def test_fleet_throughput(benchmark):
 
     repeat_identical = repeat.fingerprint() == report.fingerprint()
     fault_identical = faulted.fingerprint() == report.fingerprint()
+    obs_identical = observed.fingerprint() == report.fingerprint()
     assert repeat_identical, \
         "repeat replay diverged from the first run under the same seed"
     assert fault_identical, \
         "a retry-absorbed fleet.provision fault changed the replay"
+    assert obs_identical, \
+        "the observability plane perturbed the replay digests"
+    assert slo["count"] == TENANTS * WINDOWS
 
     baseline_rate = baseline_slices / baseline_s
     fleet_rate = report.slices_per_second
@@ -144,12 +158,19 @@ def test_fleet_throughput(benchmark):
         f"{'yes' if repeat_identical else 'NO'}",
         f"bit-identical with one injected fleet.provision fault: "
         f"{'yes' if fault_identical else 'NO'}",
+        f"bit-identical with the observability plane on: "
+        f"{'yes' if obs_identical else 'NO'}",
+        f"serve_window latency (obs on, {slo['count']} windows): "
+        f"p50 {slo['p50'] * 1e3:.3f}ms, p99 {slo['p99'] * 1e3:.3f}ms",
     ]
     emit("fleet_throughput", "\n".join(lines))
     emit_metrics("fleet_throughput", {
         "speedup": speedup,
         "fleet_slices_per_s": fleet_rate,
-        "bit_identical": float(repeat_identical and fault_identical),
+        "bit_identical": float(repeat_identical and fault_identical
+                               and obs_identical),
+        "serve_window_p50_ms": slo["p50"] * 1e3,
+        "serve_window_p99_ms": slo["p99"] * 1e3,
     })
     assert speedup >= MIN_SPEEDUP, \
         f"fleet speedup {speedup:.2f}x < {MIN_SPEEDUP}x"

@@ -5,10 +5,11 @@ the disabled accessors return shared no-op singletons (one function
 call and an attribute read per touch point), and the enabled path only
 adds span bookkeeping around shard-sized units of work, never per
 gadget. This bench measures the end-to-end screening throughput of one
-campaign budget in three modes — telemetry disabled (run twice, so the
+campaign budget in four modes — telemetry disabled (run twice, so the
 repeat delta shows the noise floor the no-op path sits inside), enabled
-in memory, and enabled with file export — and asserts the enabled
-overhead stays under 5%.
+in memory, enabled with file export, and enabled with the observability
+plane's SLO timers riding on top — and asserts each enabled overhead
+stays under 5%.
 """
 
 import time
@@ -20,6 +21,7 @@ from benchmarks.conftest import SMOKE, emit, emit_metrics, once
 from repro import telemetry
 from repro.core.fuzzer import EventFuzzer, FuzzingCampaign
 from repro.cpu.events import processor_catalog
+from repro.observability import runtime as observability
 
 BUDGET = 256 if SMOKE else 1024
 SHARD_SIZE = 32 if SMOKE else 64
@@ -31,7 +33,7 @@ REPEATS = 3
 MAX_ENABLED_OVERHEAD = 0.25 if SMOKE else 0.05
 
 
-def _run_campaign(trace_dir=None, enabled=False):
+def _run_campaign(trace_dir=None, enabled=False, obs=False):
     """One full sequential campaign; returns wall seconds."""
     catalog = processor_catalog("amd-epyc-7252")
     events = np.array([catalog.index_of(n) for n in
@@ -41,7 +43,11 @@ def _run_campaign(trace_dir=None, enabled=False):
                          confirm_per_event=4, rng=11)
     campaign = FuzzingCampaign(fuzzer, workers=1)
     start = time.perf_counter()
-    if enabled:
+    if obs:
+        with telemetry.session(trace_dir=trace_dir, process="main"), \
+                observability.session():
+            campaign.run(events)
+    elif enabled:
         with telemetry.session(trace_dir=trace_dir, process="main"):
             campaign.run(events)
     else:
@@ -63,11 +69,13 @@ def test_telemetry_overhead(benchmark, tmp_path):
     baseline = _best_of(_run_campaign)
     disabled_again = _best_of(_run_campaign)
     memory_s = _best_of(_run_campaign, enabled=True)
+    obs_s = _best_of(_run_campaign, obs=True)
     traced_s = once(benchmark, lambda: _best_of(
         _run_campaign, enabled=True, trace_dir=tmp_path / "trace"))
 
     noise_floor = disabled_again / baseline - 1.0
     memory_overhead = memory_s / baseline - 1.0
+    obs_overhead = obs_s / baseline - 1.0
     traced_overhead = traced_s / baseline - 1.0
     lines = [
         f"budget {BUDGET} gadgets, shard size {SHARD_SIZE}, "
@@ -78,12 +86,15 @@ def test_telemetry_overhead(benchmark, tmp_path):
         f"{noise_floor:+9.1%}",
         f"{'enabled, in-memory':<30s} {memory_s:8.3f} "
         f"{memory_overhead:+9.1%}",
+        f"{'enabled + observability':<30s} {obs_s:8.3f} "
+        f"{obs_overhead:+9.1%}",
         f"{'enabled, spans+metrics files':<30s} {traced_s:8.3f} "
         f"{traced_overhead:+9.1%}",
     ]
     emit("telemetry_overhead", "\n".join(lines))
     emit_metrics("telemetry_overhead", {
         "memory_overhead": memory_overhead,
+        "obs_overhead": obs_overhead,
         "traced_overhead": traced_overhead,
     })
     assert traced_overhead < MAX_ENABLED_OVERHEAD, \
@@ -91,4 +102,7 @@ def test_telemetry_overhead(benchmark, tmp_path):
         f"{MAX_ENABLED_OVERHEAD:.0%}"
     assert memory_overhead < MAX_ENABLED_OVERHEAD, \
         f"in-memory overhead {memory_overhead:.1%} exceeds " \
+        f"{MAX_ENABLED_OVERHEAD:.0%}"
+    assert obs_overhead < MAX_ENABLED_OVERHEAD, \
+        f"observability overhead {obs_overhead:.1%} exceeds " \
         f"{MAX_ENABLED_OVERHEAD:.0%}"

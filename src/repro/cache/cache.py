@@ -12,6 +12,7 @@ enabled to read them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -19,6 +20,7 @@ import numpy as np
 
 from repro.cache.lru import LruCache
 from repro.cache.store import DiskStore
+from repro.observability import runtime as observability
 from repro.telemetry import runtime as telemetry
 
 #: Default in-memory tier capacity. Entries are a few hundred bytes, so
@@ -108,6 +110,16 @@ class MeasurementCache:
         self.stats = CacheStats()
 
     def get(self, key: str) -> "CachedMeasurement | None":
+        """SLO-timed wrapper around :meth:`_get`."""
+        obs = observability.active()
+        if not obs.enabled:
+            return self._get(key)
+        start = time.perf_counter()
+        measurement = self._get(key)
+        obs.slo.observe("cache.lookup", time.perf_counter() - start)
+        return measurement
+
+    def _get(self, key: str) -> "CachedMeasurement | None":
         """Look one measurement up; LRU first, then the disk store."""
         measurement = self._lru.get(key)
         if measurement is not None:

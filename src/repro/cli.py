@@ -91,6 +91,21 @@ def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
                         help="log the metrics snapshot after the command")
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability plane (SLO "
+                             "latency windows + attack-signal "
+                             "detectors)")
+    parser.add_argument("--obs-dir", default="",
+                        help="directory for observability exports: "
+                             "metrics-snapshots.jsonl (sequence-"
+                             "numbered) and metrics.om (OpenMetrics); "
+                             "implies --obs")
+    parser.add_argument("--obs-profile", action="store_true",
+                        help="also run the span-attributed sampling "
+                             "profiler (opt-in; requires --obs)")
+
+
 def _positive_int(text: str) -> int:
     try:
         value = int(text)
@@ -220,6 +235,54 @@ def _cache_scope(args: argparse.Namespace):
                  f"({stats.hit_rate:.1%}), {stats.stored} stored"
                  + (f", {stats.bytes_written:,} bytes to {cache_dir}"
                     if cache_dir else ""))
+
+
+@contextlib.contextmanager
+def _obs_scope(args: argparse.Namespace):
+    """Activate the observability plane when its flags ask for it.
+
+    Observability rides on the telemetry metrics registry (SLO
+    histograms, ``obs.alert.*`` counters), so when telemetry is not
+    otherwise configured this opens a memory-only telemetry session
+    underneath the plane.
+    """
+    import pathlib
+    obs_dir = getattr(args, "obs_dir", "") or None
+    wanted = bool(getattr(args, "obs", False)) or obs_dir is not None
+    if not wanted:
+        if getattr(args, "obs_profile", False):
+            raise SystemExit("--obs-profile requires --obs")
+        yield
+        return
+    from repro import observability, telemetry
+    with contextlib.ExitStack() as stack:
+        if not telemetry.enabled():
+            stack.enter_context(telemetry.session(trace_dir=None,
+                                                  process="main"))
+        export_path = (pathlib.Path(obs_dir) / "metrics-snapshots.jsonl"
+                       if obs_dir else None)
+        plane = stack.enter_context(observability.session(
+            export_path=export_path,
+            profile=bool(getattr(args, "obs_profile", False))))
+        yield
+        if obs_dir:
+            path = observability.write_openmetrics(
+                telemetry.metrics().snapshot(),
+                pathlib.Path(obs_dir) / "metrics.om")
+            _say(f"openmetrics exposition written to {path}")
+        alerts = plane.detectors.alerts(ranked=True)
+        if alerts:
+            _say(f"observability: {len(alerts)} attack-signal alert(s)")
+            for alert in alerts[:5]:
+                _say(f"  [{alert.severity}] #{alert.seq} "
+                     f"{alert.detector} tenant={alert.tenant_id} — "
+                     f"{alert.detail}")
+        if plane.profiler is not None:
+            top = plane.profiler.report(top=3)
+            detail = "; ".join(f"{entry['span']} ({entry['site']}) "
+                               f"x{entry['samples']}" for entry in top)
+            _say(f"profiler: {plane.profiler.total_samples} sample(s)"
+                 + (f"; {detail}" if detail else ""))
 
 
 @contextlib.contextmanager
@@ -414,6 +477,25 @@ def _fleet_artifact(args: argparse.Namespace):
     return artifact
 
 
+def _parse_attackers(text: str) -> dict:
+    """``t02=burst-poll,t03=single-step`` -> attacker profiles."""
+    from repro.fleet import AttackerProfile
+    profiles = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        tenant, sep, kind = part.partition("=")
+        if not sep or not tenant.strip() or not kind.strip():
+            raise SystemExit("--attackers entries look like "
+                             f"tenant=kind, got {part!r}")
+        try:
+            profiles[tenant.strip()] = AttackerProfile(kind=kind.strip())
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    return profiles
+
+
 def _fleet_run(args: argparse.Namespace):
     """Build a fresh control plane and replay one load-generation run."""
     import math
@@ -437,9 +519,14 @@ def _fleet_run(args: argparse.Namespace):
     cap = args.epsilon_cap if args.epsilon_cap is not None else math.inf
     specs = default_specs(args.tenants, workload=args.workload,
                           epsilon_cap=cap)
-    generator = LoadGenerator(plane, specs, windows=args.windows,
-                              slices_per_window=args.slices,
-                              concurrency=args.concurrency or None)
+    try:
+        generator = LoadGenerator(
+            plane, specs, windows=args.windows,
+            slices_per_window=args.slices,
+            concurrency=args.concurrency or None,
+            attackers=_parse_attackers(getattr(args, "attackers", "")))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     with fleet_runtime.session(plane), resilience.session(fault_plan):
         report = generator.run()
     return plane, report
@@ -508,14 +595,39 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _health_exit(status: dict) -> int:
+    """Exit code from the status health block: say why when degraded."""
+    health = status.get("health")
+    if health is None or health.get("healthy", True):
+        return 0
+    for reason in health.get("reasons", []):
+        _say(f"UNHEALTHY: {reason}")
+    return 1
+
+
 def cmd_fleet_status(args: argparse.Namespace) -> int:
-    """Render a fleet-status.json written by ``fleet serve``."""
+    """Render a fleet-status.json written by ``fleet serve``.
+
+    Exits non-zero when the control plane reports degraded health
+    (provisioning stalls, watchdog-restarted daemons), so scripts and
+    CI can gate on it.
+    """
     import json
     import pathlib
+    import time
     path = pathlib.Path(args.state_dir) / "fleet-status.json"
     if not path.is_file():
         raise SystemExit(f"no fleet status at {path}; run "
                          f"'fleet serve --state-dir {args.state_dir}' first")
+    if args.watch:
+        from repro.observability import render_status_frame
+        status = None
+        for frame in range(args.frames):
+            if frame:
+                time.sleep(args.interval)
+            status = json.loads(path.read_text(encoding="utf-8"))
+            _say(render_status_frame(status, frame=frame).rstrip())
+        return _health_exit(status)
     status = json.loads(path.read_text(encoding="utf-8"))
     _say(f"fleet on {status['processor_model']} "
          f"({status['mechanism']}, eps={status['epsilon']:g}/slice), "
@@ -534,6 +646,48 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
              f"{row['refills']} refills, {row['daemon_restarts']} "
              f"restarts, budget {cap_text}"
              + (" [EXHAUSTED]" if budget["exhausted"] else ""))
+    observability = status.get("observability")
+    if observability is not None:
+        alerts = observability.get("alerts", [])
+        _say(f"alerts: {len(alerts)}")
+        for alert in alerts[:5]:
+            _say(f"  [{alert['severity']}] #{alert['seq']} "
+                 f"{alert['detector']} tenant={alert['tenant_id']}")
+    return _health_exit(status)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render the ``repro top`` dashboard from a metrics directory."""
+    import json
+    import pathlib
+    import time
+
+    from repro.observability import render_top
+    from repro.telemetry import merge_run, read_snapshot
+    trace_dir = pathlib.Path(args.trace)
+
+    def _snapshot() -> dict:
+        merged = trace_dir / "metrics.json"
+        if merged.is_file():
+            return read_snapshot(merged)
+        if any(trace_dir.glob("metrics-*.json")):
+            return merge_run(trace_dir, write=False).metrics
+        raise SystemExit(f"no metrics snapshots under {trace_dir}")
+
+    def _alerts() -> "list | None":
+        if not args.state_dir:
+            return None
+        status_path = pathlib.Path(args.state_dir) / "fleet-status.json"
+        if not status_path.is_file():
+            return None
+        status = json.loads(status_path.read_text(encoding="utf-8"))
+        return status.get("observability", {}).get("alerts")
+
+    for frame in range(args.frames):
+        if frame:
+            time.sleep(args.interval)
+        _say(render_top(_snapshot(), alerts=_alerts(),
+                        top=args.top).rstrip())
     return 0
 
 
@@ -581,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="vulnerable events to print")
     _add_cache_options(p)
     _add_telemetry_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("fuzz", help="run an Event Fuzzer campaign")
@@ -592,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_options(p)
     _add_cache_options(p)
     _add_telemetry_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("deploy",
@@ -609,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_options(p)
     _add_cache_options(p)
     _add_telemetry_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_deploy)
 
     p = sub.add_parser("attack", help="mount a case-study attack")
@@ -659,7 +816,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(fleet.provision / fleet.admit chaos)")
         fp.add_argument("--state-dir", default="",
                         help="directory for fleet-status.json")
+        fp.add_argument("--attackers", default="", metavar="SPEC",
+                        help="inject attack read traces: comma-"
+                             "separated tenant=kind pairs, kinds "
+                             "single-step (SEV-Step cadence) and "
+                             "burst-poll (register-rotating burst); "
+                             "needs --obs to be detected")
         _add_telemetry_options(fp)
+        _add_obs_options(fp)
 
     fp = fleet_sub.add_parser("serve",
                               help="serve a replayed multi-tenant load")
@@ -675,11 +839,38 @@ def build_parser() -> argparse.ArgumentParser:
     fp.set_defaults(func=cmd_fleet_replay)
 
     fp = fleet_sub.add_parser("status",
-                              help="render fleet-status.json")
+                              help="render fleet-status.json (exits "
+                                   "non-zero on degraded health)")
     _add_logging(fp)
     fp.add_argument("--state-dir", required=True,
                     help="directory holding fleet-status.json")
+    fp.add_argument("--watch", action="store_true",
+                    help="render live dashboard frames instead of the "
+                         "one-shot summary")
+    fp.add_argument("--frames", type=_positive_int, default=1,
+                    help="frames to render with --watch (default 1)")
+    fp.add_argument("--interval", type=_positive_float, default=2.0,
+                    help="seconds between --watch frames (default 2)")
     fp.set_defaults(func=cmd_fleet_status)
+
+    p = sub.add_parser("top",
+                       help="terminal dashboard over a metrics "
+                            "directory: SLO latencies, busiest "
+                            "counters, attack-signal alerts")
+    _add_logging(p)
+    p.add_argument("--trace", required=True,
+                   help="telemetry directory holding metrics.json or "
+                        "per-process metrics-*.json snapshots")
+    p.add_argument("--state-dir", default="",
+                   help="fleet state directory; adds the alert stream "
+                        "from fleet-status.json")
+    p.add_argument("--top", type=_positive_int, default=8,
+                   help="busiest counters to chart (default 8)")
+    p.add_argument("--frames", type=_positive_int, default=1,
+                   help="frames to render (default 1)")
+    p.add_argument("--interval", type=_positive_float, default=2.0,
+                   help="seconds between frames (default 2)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("report",
                        help="render a deployment artifact and/or a "
@@ -706,7 +897,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     configure_cli_logging(verbose=getattr(args, "verbose", 0),
                           quiet=getattr(args, "quiet", False))
-    with _telemetry_scope(args), _cache_scope(args):
+    with _telemetry_scope(args), _obs_scope(args), _cache_scope(args):
         return args.func(args)
 
 

@@ -15,6 +15,7 @@ Two execution granularities share the signal vocabulary:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -178,8 +179,18 @@ class Core:
         geometry and provenance rather than perturbing execution).
         """
         from repro.cpu import batch
-        return batch.execute_batch(self, programs, update_hpc=update_hpc,
-                                   repeats=repeats, seeds=seeds)
+        from repro.observability import runtime as observability
+        obs = observability.active()
+        if not obs.enabled:
+            return batch.execute_batch(self, programs,
+                                       update_hpc=update_hpc,
+                                       repeats=repeats, seeds=seeds)
+        start = time.perf_counter()
+        results = batch.execute_batch(self, programs,
+                                      update_hpc=update_hpc,
+                                      repeats=repeats, seeds=seeds)
+        obs.slo.observe("batch.execute", time.perf_counter() - start)
+        return results
 
     def _charge_memory_stalls(self, signals: np.ndarray) -> int:
         """Stall cycles implied by the most recent access outcome."""

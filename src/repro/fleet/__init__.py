@@ -19,7 +19,9 @@ from repro.fleet.controlplane import (
 )
 from repro.fleet.ledger import FleetLedger, UnknownTenant
 from repro.fleet.loadgen import (
+    ATTACKER_KINDS,
     WORKLOAD_FACTORIES,
+    AttackerProfile,
     LoadGenerator,
     ReplayReport,
     default_specs,
@@ -43,10 +45,12 @@ from repro.fleet.registry import (
 )
 
 __all__ = [
+    "ATTACKER_KINDS",
     "AdmissionController",
     "AdmissionDecision",
     "ArtifactCompatibilityError",
     "ArtifactRegistry",
+    "AttackerProfile",
     "DEFAULT_CAPACITY",
     "DEFAULT_WATERMARK",
     "FleetControlPlane",

@@ -35,6 +35,7 @@ fault check precedes every stream draw.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +54,7 @@ from repro.fleet.provisioner import (
     NoiseProvisioner,
 )
 from repro.fleet.registry import check_compatible
+from repro.observability import runtime as observability
 from repro.resilience.watchdog import DaemonWatchdog
 from repro.telemetry import runtime as telemetry
 from repro.utils.rng import derive_stream
@@ -152,6 +154,8 @@ class FleetControlPlane:
         self.stale_polls = stale_polls
         self.tenants: dict[str, TenantRuntime] = {}
         self.ticks = 0
+        self._guest_tenant: dict[str, str] = {}
+        self.hypervisor.install_read_tap(self._on_host_read)
 
     @property
     def event_weights(self) -> np.ndarray:
@@ -199,6 +203,7 @@ class FleetControlPlane:
             spec=spec, guest_name=guest.name, daemon=daemon,
             watchdog=DaemonWatchdog(daemon, stale_polls=self.stale_polls))
         self.tenants[spec.tenant_id] = runtime
+        self._guest_tenant[guest.name] = spec.tenant_id
         registry = telemetry.metrics()
         if registry.enabled:
             registry.counter("fleet.tenants_admitted").inc()
@@ -210,10 +215,47 @@ class FleetControlPlane:
         except KeyError as exc:
             raise KeyError(f"no such tenant {tenant_id!r}") from exc
 
+    # -- observability -------------------------------------------------
+
+    def _on_host_read(self, guest_name: str, vcpu_index: int, slot: int,
+                      at: "float | None") -> None:
+        """Hypervisor read tap: feed the attack-signal extractor.
+
+        Resolves the observability plane at call time so a plane
+        configured after the fleet was built still sees every read;
+        reads of guests the fleet does not own are ignored.
+        """
+        obs = observability.active()
+        if not obs.enabled:
+            return
+        tenant_id = self._guest_tenant.get(guest_name)
+        if tenant_id is None:
+            return
+        if at is None:
+            at = float(self.ticks)
+        obs.ingest_read(tenant_id, slot, at)
+
     # -- serving -------------------------------------------------------
 
     def serve_window(self, tenant_id: str, event_matrix: np.ndarray
                      ) -> tuple[AdmissionDecision, "np.ndarray | None"]:
+        """SLO-timed wrapper around :meth:`_serve_window`.
+
+        Only admitted windows count toward the latency objective — a
+        rejection is an admission outcome, not a serving latency.
+        """
+        obs = observability.active()
+        if not obs.enabled:
+            return self._serve_window(tenant_id, event_matrix)
+        start = time.perf_counter()
+        decision, out = self._serve_window(tenant_id, event_matrix)
+        if decision:
+            obs.slo.observe("fleet.serve_window",
+                            time.perf_counter() - start)
+        return decision, out
+
+    def _serve_window(self, tenant_id: str, event_matrix: np.ndarray
+                      ) -> tuple[AdmissionDecision, "np.ndarray | None"]:
         """Serve one window of noised monitored-event reads.
 
         ``event_matrix`` is the guest's raw ``(T, E)`` counts for the
@@ -252,12 +294,26 @@ class FleetControlPlane:
     # -- the scheduler tick -------------------------------------------
 
     def tick(self) -> dict:
+        """SLO-timed wrapper around :meth:`_tick`."""
+        obs = observability.active()
+        if not obs.enabled:
+            return self._tick()
+        start = time.perf_counter()
+        result = self._tick()
+        obs.slo.observe("fleet.tick", time.perf_counter() - start)
+        return result
+
+    def _tick(self) -> dict:
         """One control-loop round over every tenant, in sorted order.
 
         Multiplexes the housekeeping a deployment runs continuously:
         watermark-driven provisioning, daemon watchdog polls, and one
         host-side HPC read per guest (the kernel-module/hypervisor
-        read path the side channel rides on).
+        read path the side channel rides on). Housekeeping reads carry
+        tick-granular logical timestamps (slot reads spread at 1/8-tick
+        offsets) so the signal extractor sees them on a coarser
+        timebase than any polling burst — they reset runs, never
+        extend them.
         """
         self.ticks += 1
         with telemetry.tracer().span("fleet.tick", tick=self.ticks):
@@ -268,8 +324,9 @@ class FleetControlPlane:
                 if not runtime.watchdog.poll():
                     restarts += 1
                 for slot in range(len(self.monitored_events)):
-                    self.hypervisor.read_vcpu_hpc(runtime.guest_name, 0,
-                                                  slot)
+                    self.hypervisor.read_vcpu_hpc(
+                        runtime.guest_name, 0, slot,
+                        at=self.ticks + slot * 0.125)
                 runtime.hpc_reads += len(self.monitored_events)
         registry = telemetry.metrics()
         if registry.enabled:
@@ -278,6 +335,32 @@ class FleetControlPlane:
                 "daemon_restarts": restarts}
 
     # -- introspection -------------------------------------------------
+
+    def health(self) -> dict:
+        """Actionable fleet health: healthy flag plus why-not reasons.
+
+        Degraded when any tenant's noise provisioning has stalled
+        (fail-closed slices withheld — the fleet equivalent of a
+        quarantined shard) or its daemon watchdog had to restart a
+        stalled heartbeat. Budget exhaustion is *not* unhealthy: a
+        tenant running out of ε-quota is admission control doing its
+        job.
+        """
+        reasons: list[str] = []
+        for tenant_id in sorted(self.tenants):
+            runtime = self.tenants[tenant_id]
+            stalls = self.provisioner.buffer(tenant_id).stalls
+            if stalls:
+                reasons.append(
+                    f"tenant {tenant_id}: {stalls} provisioning "
+                    f"stall(s) — noise refills failing, slices "
+                    f"withheld fail-closed")
+            restarts = runtime.watchdog.restarts
+            if restarts:
+                reasons.append(
+                    f"tenant {tenant_id}: daemon heartbeat stalled, "
+                    f"watchdog restarted it {restarts} time(s)")
+        return {"healthy": not reasons, "reasons": reasons}
 
     def status(self) -> dict:
         """JSON-ready snapshot of the whole fleet."""
@@ -299,7 +382,7 @@ class FleetControlPlane:
                 "daemon_restarts": runtime.watchdog.restarts,
                 "hpc_reads": runtime.hpc_reads,
             }
-        return {
+        payload = {
             "processor_model": self.artifact.processor_model,
             "mechanism": self.artifact.mechanism,
             "epsilon": self.artifact.epsilon,
@@ -310,4 +393,9 @@ class FleetControlPlane:
             "admitted_windows": self.admission.admitted_windows,
             "rejected_windows": self.admission.rejected_windows,
             "budgets": self.ledger.snapshot(),
+            "health": self.health(),
         }
+        obs = observability.active()
+        if obs.enabled:
+            payload["observability"] = obs.snapshot()
+        return payload

@@ -42,6 +42,39 @@ WORKLOAD_FACTORIES = {
     "rsa": RsaSignWorkload,
 }
 
+#: Attacker trace kinds the load generator can inject.
+ATTACKER_KINDS = ("single-step", "burst-poll")
+
+
+@dataclass(frozen=True)
+class AttackerProfile:
+    """A host-side read-attack trace injected against one tenant.
+
+    ``single-step`` replays the SEV-Step signature: one register read
+    per instruction step at an exactly periodic ``cadence``.
+    ``burst-poll`` replays a profiling burst: reads rotating across
+    every programmed register with seeded jittered intervals drawn
+    uniformly from ``jitter``. Both issue their reads through the
+    hypervisor's legitimate HPC read path — an attacker needs nothing
+    else — and their logical timestamps derive from the *window index*,
+    so the injected stream (and therefore every detector alert) is
+    identical at any load-generator concurrency.
+    """
+
+    kind: str
+    reads_per_window: int = 64
+    cadence: float = 1e-3
+    slot: int = 0
+    jitter: tuple = (2e-4, 2e-3)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATTACKER_KINDS:
+            raise ValueError(f"unknown attacker kind {self.kind!r}; "
+                             f"choose from {sorted(ATTACKER_KINDS)}")
+        if self.reads_per_window < 1:
+            raise ValueError("reads_per_window must be >= 1, got "
+                             f"{self.reads_per_window}")
+
 
 def make_workload(name: str) -> Workload:
     """Instantiate a registered workload by name."""
@@ -136,13 +169,20 @@ class LoadGenerator:
     ticks_per_round:
         Control-plane ticks (watchdog polls, HPC reads, watermark
         refills) interleaved after each scheduling round.
+    attackers:
+        Optional ``{tenant_id: AttackerProfile}`` — after each listed
+        tenant's window is served, its attack trace replays against
+        that tenant's guest, exercising the observability plane's
+        detectors under otherwise-normal fleet load.
     """
 
     def __init__(self, plane: FleetControlPlane, specs: list[TenantSpec],
                  windows: int = 4, slices_per_window: int = 3000,
                  concurrency: "int | None" = None,
                  ticks_per_round: int = 1,
-                 slice_s: float = 1e-3) -> None:
+                 slice_s: float = 1e-3,
+                 attackers: "dict[str, AttackerProfile] | None" = None
+                 ) -> None:
         if windows < 1:
             raise ValueError(f"windows must be >= 1, got {windows}")
         if slices_per_window < 1:
@@ -158,6 +198,44 @@ class LoadGenerator:
         self.concurrency = concurrency
         self.ticks_per_round = ticks_per_round
         self.slice_s = slice_s
+        self.attackers = dict(attackers) if attackers else {}
+        known = {spec.tenant_id for spec in self.specs}
+        unknown = sorted(set(self.attackers) - known)
+        if unknown:
+            raise ValueError(
+                f"attacker profiles target unknown tenant(s): {unknown}")
+
+    def _inject_attack(self, tenant_id: str, profile: AttackerProfile,
+                       window: int) -> None:
+        """Replay one window of ``profile`` against ``tenant_id``.
+
+        Timestamps sit at ``window + 0.5`` plus sub-burst offsets —
+        never near the scheduler ticks' 1/8-tick grid — so attack
+        bursts and housekeeping reads cannot blur into one run.
+        ``rdpmc`` is a pure read: injection perturbs no RNG stream and
+        no noised value, which keeps replay digests bit-identical with
+        and without an attacker present.
+        """
+        plane = self.plane
+        runtime = plane.tenants[tenant_id]
+        base = float(window) + 0.5
+        if profile.kind == "single-step":
+            for i in range(profile.reads_per_window):
+                plane.hypervisor.read_vcpu_hpc(
+                    runtime.guest_name, 0, profile.slot,
+                    at=base + i * profile.cadence)
+        else:  # burst-poll
+            rng = derive_stream(plane.seed, "attacker", tenant_id,
+                                window)
+            lo, hi = profile.jitter
+            intervals = rng.uniform(lo, hi, profile.reads_per_window)
+            slots = len(plane.monitored_events)
+            at = base
+            for i in range(profile.reads_per_window):
+                plane.hypervisor.read_vcpu_hpc(
+                    runtime.guest_name, 0, i % slots, at=at)
+                at += float(intervals[i])
+        runtime.hpc_reads += profile.reads_per_window
 
     def run(self) -> ReplayReport:
         """Admit, record, replay; returns the digest-bearing report."""
@@ -195,6 +273,10 @@ class LoadGenerator:
                             rejected_windows += 1
                             rejections.setdefault(tenant_id, []).append(
                                 decision.reason)
+                        profile = self.attackers.get(tenant_id)
+                        if profile is not None:
+                            self._inject_attack(tenant_id, profile,
+                                                window)
                     for _ in range(self.ticks_per_round):
                         plane.tick()
         elapsed = time.perf_counter() - start

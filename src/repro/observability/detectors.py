@@ -1,0 +1,249 @@
+"""Pluggable attack-signal detectors over host-read features.
+
+"Fight Hardware with Hardware" classifies attacks from counter
+behaviour itself; here the defended side does the mirror image,
+classifying the *host's read behaviour* against known attack
+signatures. Detection only: alerts are recorded (metrics via the
+ε-ledger, a ranked in-memory stream, the status snapshot) but policy
+reaction is deliberately left to a follow-up change.
+
+Alert emission is rising-edge: a detector that stays above threshold
+across consecutive reads produces one alert, and re-arms only after
+its condition clears (which run-local features guarantee at every
+burst boundary). Sequence numbers are assigned in emission order, so
+for a deterministic read stream the full alert sequence — numbers,
+severities, scores — is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry import runtime as telemetry
+
+#: Severity sort order, worst first.
+SEVERITY_RANK = {"critical": 3, "high": 2, "medium": 1, "low": 0}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One emitted detection, fingerprintable for replay comparison."""
+
+    seq: int
+    tenant_id: str
+    detector: str
+    severity: str
+    score: float
+    detail: str
+    at: float
+
+    def fingerprint(self) -> tuple:
+        return (self.seq, self.tenant_id, self.detector, self.severity,
+                round(self.score, 12))
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "tenant_id": self.tenant_id,
+                "detector": self.detector, "severity": self.severity,
+                "score": self.score, "detail": self.detail, "at": self.at}
+
+
+class Detector:
+    """Base detector: a named, severity-tagged feature threshold."""
+
+    name = "detector"
+    severity = "low"
+
+    def evaluate(self, tenant_id: str,
+                 features: dict) -> "tuple[float, str] | None":
+        """``(score, detail)`` when firing, ``None`` otherwise."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop any per-tenant state (stateless detectors: no-op)."""
+        return None
+
+
+class SingleStepCadenceDetector(Detector):
+    """SEV-Step signature: long, exactly periodic single-register reads.
+
+    Single-stepping reads the same counter once per instruction-step
+    at machine-regular cadence — many consecutive equal intervals,
+    sub-burst latency, near-zero register rotation.
+    """
+
+    name = "single-step-cadence"
+    severity = "critical"
+
+    def __init__(self, min_cadence_run: int = 24,
+                 max_interval: float = 0.005,
+                 max_entropy: float = 0.5) -> None:
+        self.min_cadence_run = int(min_cadence_run)
+        self.max_interval = float(max_interval)
+        self.max_entropy = float(max_entropy)
+
+    def evaluate(self, tenant_id: str,
+                 features: dict) -> "tuple[float, str] | None":
+        if features["cadence_run"] >= self.min_cadence_run \
+                and 0.0 < features["last_interval"] <= self.max_interval \
+                and features["rotation_entropy"] <= self.max_entropy:
+            return (features["last_interval"],
+                    f"{features['cadence_run']} equal intervals of "
+                    f"{features['last_interval']:.6f}s on "
+                    f"{features['distinct_slots']} register(s)")
+        return None
+
+
+class BurstPollingDetector(Detector):
+    """Profiling signature: a long multi-register polling burst."""
+
+    name = "burst-polling"
+    severity = "high"
+
+    def __init__(self, min_run: int = 32, min_slots: int = 2) -> None:
+        self.min_run = int(min_run)
+        self.min_slots = int(min_slots)
+
+    def evaluate(self, tenant_id: str,
+                 features: dict) -> "tuple[float, str] | None":
+        if features["run_len"] >= self.min_run \
+                and features["distinct_slots"] >= self.min_slots:
+            return (features["mean_run_interval"],
+                    f"burst of {features['run_len']} reads across "
+                    f"{features['distinct_slots']} registers, mean "
+                    f"interval {features['mean_run_interval']:.6f}s")
+        return None
+
+
+class RotationScanDetector(Detector):
+    """Sweep signature: a burst rotating uniformly over registers."""
+
+    name = "register-rotation"
+    severity = "medium"
+
+    def __init__(self, min_run: int = 32,
+                 min_entropy: float = 1.5) -> None:
+        self.min_run = int(min_run)
+        self.min_entropy = float(min_entropy)
+
+    def evaluate(self, tenant_id: str,
+                 features: dict) -> "tuple[float, str] | None":
+        if features["run_len"] >= self.min_run \
+                and features["rotation_entropy"] >= self.min_entropy:
+            return (features["rotation_entropy"],
+                    f"rotation entropy "
+                    f"{features['rotation_entropy']:.3f} bits over "
+                    f"{features['distinct_slots']} registers")
+        return None
+
+
+class EwmaDetector(Detector):
+    """Adaptive read-rate detector (pluggable, not in the defaults).
+
+    Tracks an exponentially weighted moving average of each tenant's
+    inter-read interval; fires when the smoothed interval collapses
+    below a floor. Its state spans run boundaries, so it trades the
+    bit-identity guarantee of the default threshold detectors for
+    sensitivity to slow drifts — register it explicitly when that
+    trade is wanted.
+    """
+
+    name = "ewma-interval"
+    severity = "low"
+
+    def __init__(self, alpha: float = 0.2, floor: float = 0.002,
+                 min_reads: int = 16) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.floor = float(floor)
+        self.min_reads = int(min_reads)
+        self._ewma: dict[str, float] = {}
+
+    def evaluate(self, tenant_id: str,
+                 features: dict) -> "tuple[float, str] | None":
+        interval = features["last_interval"]
+        if interval <= 0.0:
+            return None
+        previous = self._ewma.get(tenant_id)
+        ewma = interval if previous is None \
+            else self.alpha * interval + (1.0 - self.alpha) * previous
+        self._ewma[tenant_id] = ewma
+        if features["total_reads"] >= self.min_reads \
+                and ewma <= self.floor:
+            return (ewma, f"EWMA inter-read interval {ewma:.6f}s "
+                          f"below {self.floor:.6f}s floor")
+        return None
+
+    def clear(self) -> None:
+        self._ewma.clear()
+
+
+class DetectorRegistry:
+    """Evaluates registered detectors into a ranked alert stream."""
+
+    def __init__(self, detectors: "list[Detector] | None" = None) -> None:
+        self.detectors: list[Detector] = list(detectors or [])
+        self._alerts: list[Alert] = []
+        self._active: dict[tuple, bool] = {}
+        self._seq = 0
+
+    @classmethod
+    def default(cls) -> "DetectorRegistry":
+        """The pinned default panel (deterministic detectors only)."""
+        return cls([SingleStepCadenceDetector(), BurstPollingDetector(),
+                    RotationScanDetector()])
+
+    def register(self, detector: Detector) -> Detector:
+        self.detectors.append(detector)
+        return detector
+
+    def evaluate(self, tenant_id: str, features: dict,
+                 at: float) -> list[Alert]:
+        """Run every detector; emit rising-edge alerts."""
+        emitted: list[Alert] = []
+        for detector in self.detectors:
+            verdict = detector.evaluate(tenant_id, features)
+            key = (tenant_id, detector.name)
+            if verdict is None:
+                self._active[key] = False
+                continue
+            if self._active.get(key):
+                continue
+            self._active[key] = True
+            score, detail = verdict
+            alert = Alert(seq=self._seq, tenant_id=tenant_id,
+                          detector=detector.name,
+                          severity=detector.severity,
+                          score=float(score), detail=detail,
+                          at=float(at))
+            self._seq += 1
+            self._alerts.append(alert)
+            telemetry.ledger().record_alert(detector.name, tenant_id,
+                                            detector.severity)
+            emitted.append(alert)
+        return emitted
+
+    def alerts(self, ranked: bool = False) -> list[Alert]:
+        """Emission-ordered by default; ``ranked`` puts worst first."""
+        if not ranked:
+            return list(self._alerts)
+        return sorted(self._alerts,
+                      key=lambda a: (-SEVERITY_RANK.get(a.severity, -1),
+                                     a.seq))
+
+    def counts(self) -> dict:
+        """Alert totals per detector name, name-sorted."""
+        totals: dict[str, int] = {}
+        for alert in self._alerts:
+            totals[alert.detector] = totals.get(alert.detector, 0) + 1
+        return {name: totals[name] for name in sorted(totals)}
+
+    def snapshot(self, ranked: bool = True) -> list[dict]:
+        return [alert.to_dict() for alert in self.alerts(ranked=ranked)]
+
+    def clear(self) -> None:
+        self._alerts.clear()
+        self._active.clear()
+        self._seq = 0
+        for detector in self.detectors:
+            detector.clear()

@@ -1,0 +1,148 @@
+"""Fold per-tenant host read streams into attack-signal features.
+
+The host's only legitimate observation channel into a guest is the HPC
+read path, so that is where attacks announce themselves: SEV-Step
+single-steps a vCPU and reads counters at an exactly periodic cadence,
+and profiling attacks poll in tight bursts that rotate across the
+programmed registers. The extractor reduces each tenant's read stream
+to O(1) state per tenant — no history is retained — and exposes the
+features the detector registry thresholds on.
+
+Determinism note: features are *run-local*. A "run" is a maximal chain
+of reads whose inter-read intervals fall in ``(0, burst_interval]``;
+any other interval (a scheduler-tick read on a coarser or different
+timebase, a replay restart, a new window) resets the run. Benign
+control-plane reads therefore can never extend an attack run, and the
+feature trajectory during an injected attack depends only on the
+attack's own reads — which is what makes alert sequences bit-identical
+across load-generator concurrency levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Intervals above this are not part of a polling burst.
+DEFAULT_BURST_INTERVAL = 0.01
+
+#: Two intervals closer than this count as the same cadence period.
+CADENCE_TOLERANCE = 1e-9
+
+
+@dataclass
+class TenantReadStream:
+    """O(1) per-tenant stream state; one instance per tenant."""
+
+    burst_interval: float = DEFAULT_BURST_INTERVAL
+    total_reads: int = 0
+    last_at: "float | None" = None
+    last_interval: float = 0.0
+    run_len: int = 0
+    cadence_run: int = 0
+    run_interval_sum: float = 0.0
+    run_interval_min: float = math.inf
+    run_interval_max: float = 0.0
+    run_slot_counts: dict = field(default_factory=dict)
+    _prev_interval: "float | None" = None
+
+    def _reset_run(self, slot: int) -> None:
+        self.run_len = 1
+        self.cadence_run = 0
+        self.run_interval_sum = 0.0
+        self.run_interval_min = math.inf
+        self.run_interval_max = 0.0
+        self.run_slot_counts = {slot: 1}
+        self._prev_interval = None
+
+    def ingest(self, slot: int, at: float) -> None:
+        """Account one host read of ``slot`` at logical time ``at``."""
+        at = float(at)
+        self.total_reads += 1
+        if self.last_at is None:
+            self.last_at = at
+            self._reset_run(slot)
+            return
+        interval = at - self.last_at
+        self.last_at = at
+        self.last_interval = interval
+        if not 0.0 < interval <= self.burst_interval:
+            self._reset_run(slot)
+            return
+        self.run_len += 1
+        self.run_slot_counts[slot] = self.run_slot_counts.get(slot, 0) + 1
+        self.run_interval_sum += interval
+        self.run_interval_min = min(self.run_interval_min, interval)
+        self.run_interval_max = max(self.run_interval_max, interval)
+        if self._prev_interval is not None \
+                and abs(interval - self._prev_interval) <= CADENCE_TOLERANCE:
+            self.cadence_run += 1
+        else:
+            self.cadence_run = 1
+        self._prev_interval = interval
+
+    def rotation_entropy(self) -> float:
+        """Shannon entropy (bits) of the current run's slot histogram.
+
+        0 for a single-register attack (SEV-Step pins one counter);
+        log2(S) for a uniform rotation across S registers.
+        """
+        total = sum(self.run_slot_counts.values())
+        if total <= 1:
+            return 0.0
+        entropy = 0.0
+        for count in self.run_slot_counts.values():
+            p = count / total
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def features(self) -> dict:
+        """The feature vector the detectors threshold on."""
+        intervals = self.run_len - 1
+        return {
+            "total_reads": self.total_reads,
+            "last_interval": self.last_interval,
+            "run_len": self.run_len,
+            "cadence_run": self.cadence_run,
+            "distinct_slots": len(self.run_slot_counts),
+            "rotation_entropy": self.rotation_entropy(),
+            "mean_run_interval": (self.run_interval_sum / intervals
+                                  if intervals > 0 else 0.0),
+            "min_run_interval": (self.run_interval_min
+                                 if intervals > 0 else 0.0),
+            "max_run_interval": self.run_interval_max,
+        }
+
+
+class SignalExtractor:
+    """Per-tenant read streams, keyed by tenant id."""
+
+    def __init__(self,
+                 burst_interval: float = DEFAULT_BURST_INTERVAL) -> None:
+        if burst_interval <= 0:
+            raise ValueError(
+                f"burst_interval must be > 0, got {burst_interval}")
+        self.burst_interval = float(burst_interval)
+        self._streams: dict[str, TenantReadStream] = {}
+
+    def stream(self, tenant_id: str) -> TenantReadStream:
+        stream = self._streams.get(tenant_id)
+        if stream is None:
+            stream = self._streams[tenant_id] = TenantReadStream(
+                burst_interval=self.burst_interval)
+        return stream
+
+    def ingest(self, tenant_id: str, slot: int,
+               at: float) -> TenantReadStream:
+        stream = self.stream(tenant_id)
+        stream.ingest(slot, at)
+        return stream
+
+    def features(self, tenant_id: str) -> dict:
+        return self.stream(tenant_id).features()
+
+    def tenants(self) -> list[str]:
+        return sorted(self._streams)
+
+    def clear(self) -> None:
+        self._streams.clear()

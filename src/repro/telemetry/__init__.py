@@ -40,15 +40,19 @@ from repro.telemetry.ledger import (
     epsilon_summary,
 )
 from repro.telemetry.metrics import (
+    BUCKET_PRESETS,
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     NOOP_METRICS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NoopMetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
     read_snapshot,
+    resolve_bounds,
 )
 from repro.telemetry.render import render_run, render_trace_dir
 from repro.telemetry.runtime import (
@@ -73,9 +77,11 @@ from repro.telemetry.spans import (
 )
 
 __all__ = [
+    "BUCKET_PRESETS",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "LATENCY_BUCKETS",
     "Histogram",
     "MERGED_METRICS",
     "MERGED_TRACE",
@@ -97,6 +103,7 @@ __all__ = [
     "enabled",
     "epsilon_summary",
     "flush",
+    "histogram_quantile",
     "ledger",
     "load_run",
     "merge_run",
@@ -106,6 +113,7 @@ __all__ = [
     "read_spans",
     "render_run",
     "render_trace_dir",
+    "resolve_bounds",
     "session",
     "trace_dir",
     "tracer",

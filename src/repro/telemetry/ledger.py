@@ -30,6 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 LEDGER_GAUGES = ("privacy.per_slice_epsilon", "privacy.epsilon_basic",
                  "privacy.epsilon_advanced", "privacy.epsilon_spent")
 
+#: Numeric severity levels for the ``obs.tenant.<id>.last_severity``
+#: gauge (max-merged across processes, so higher must mean worse).
+_SEVERITY_LEVELS = {"low": 1, "medium": 2, "high": 3, "critical": 4}
+
 
 class PrivacyLedger:
     """Mirrors accountant state into a metrics registry."""
@@ -90,6 +94,22 @@ class PrivacyLedger:
         if remaining is not None:
             registry.gauge(f"{prefix}.remaining_slices").set(remaining)
 
+    def record_alert(self, detector: str, tenant_id: str,
+                     severity: str) -> None:
+        """Account one attack-signal alert in the ``obs.`` namespace.
+
+        Alerts live in the ε-ledger because a detected read pattern is a
+        budget-relevant event: the follow-up policy PR will spend or
+        clamp budget in response, and the ledger is where budget-facing
+        evidence is aggregated across processes.
+        """
+        registry = self._registry
+        registry.counter("obs.alerts").inc()
+        registry.counter(f"obs.alert.{detector}").inc()
+        registry.gauge(
+            f"obs.tenant.{tenant_id}.last_severity").set(
+            _SEVERITY_LEVELS.get(severity, 0))
+
     def composed(self) -> dict:
         """The live composed guarantee, straight from the registry."""
         registry = self._registry
@@ -121,6 +141,10 @@ class NoopPrivacyLedger:
         return None
 
     def sync_tenant(self, tenant_id: str, accountant) -> None:
+        return None
+
+    def record_alert(self, detector: str, tenant_id: str,
+                     severity: str) -> None:
         return None
 
     def composed(self) -> dict:

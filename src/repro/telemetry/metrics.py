@@ -20,6 +20,32 @@ from typing import Iterable
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
                    50.0, 100.0)
 
+#: Latency-tuned bounds: ``serve_window`` and friends complete in tens
+#: of microseconds to single-digit milliseconds, where DEFAULT_BUCKETS
+#: collapses everything into its first two buckets. Roughly
+#: 1-2.5-5 per decade from 1 µs to 1 s.
+LATENCY_BUCKETS = (1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+                   1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+                   1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0)
+
+#: Named bound presets accepted wherever ``bounds`` is: callers across
+#: processes that name the same preset get byte-identical bounds, so
+#: the cross-process bucket reduction in :func:`merge_snapshots` never
+#: sees a mismatch.
+BUCKET_PRESETS = {"default": DEFAULT_BUCKETS, "latency": LATENCY_BUCKETS}
+
+
+def resolve_bounds(bounds: "Iterable[float] | str") -> tuple:
+    """Bucket bounds for ``bounds`` (a preset name or an iterable)."""
+    if isinstance(bounds, str):
+        try:
+            return BUCKET_PRESETS[bounds]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown bucket preset {bounds!r}; choose from "
+                f"{sorted(BUCKET_PRESETS)}") from exc
+    return tuple(float(b) for b in bounds)
+
 
 class Counter:
     """Monotonically increasing sum."""
@@ -56,8 +82,9 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "total", "count")
 
-    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
-        bounds = tuple(float(b) for b in bounds)
+    def __init__(self,
+                 bounds: "Iterable[float] | str" = DEFAULT_BUCKETS) -> None:
+        bounds = resolve_bounds(bounds)
         if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
             raise ValueError("bounds must be non-empty and ascending")
         self.bounds = bounds
@@ -128,10 +155,16 @@ class MetricsRegistry:
         return instrument
 
     def histogram(self, name: str,
-                  bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+                  bounds: "Iterable[float] | str" = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        bounds = resolve_bounds(bounds)
         instrument = self._histograms.get(name)
         if instrument is None:
             instrument = self._histograms[name] = Histogram(bounds)
+        elif instrument.bounds != bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, requested {bounds}")
         return instrument
 
     def clear(self) -> None:
@@ -175,7 +208,7 @@ class NoopMetricsRegistry:
         return NOOP_INSTRUMENT
 
     def histogram(self, name: str,
-                  bounds: Iterable[float] = DEFAULT_BUCKETS
+                  bounds: "Iterable[float] | str" = DEFAULT_BUCKETS
                   ) -> _NoopInstrument:
         return NOOP_INSTRUMENT
 
@@ -226,6 +259,37 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
         "gauges": {k: gauges[k] for k in sorted(gauges)},
         "histograms": {k: histograms[k] for k in sorted(histograms)},
     }
+
+
+def histogram_quantile(payload: dict, q: float) -> float:
+    """Estimate quantile ``q`` from a snapshot histogram payload.
+
+    Prometheus-style linear interpolation inside the bucket that holds
+    the target rank. Observations in the overflow bucket clamp to the
+    last finite bound. Deterministic for a given payload.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    bounds = list(payload["bounds"])
+    counts = list(payload["counts"])
+    count = int(payload["count"])
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative < rank:
+            continue
+        if i >= len(bounds):  # overflow: no upper edge to interpolate to
+            return float(bounds[-1])
+        lo = bounds[i - 1] if i else 0.0
+        hi = bounds[i]
+        return lo + (hi - lo) * ((rank - previous) / bucket_count)
+    return float(bounds[-1])
 
 
 def read_snapshot(path: "str | Path") -> dict:

@@ -11,6 +11,7 @@ from pathlib import Path
 
 from repro.analysis.ascii_chart import bar_chart, sparkline
 from repro.telemetry.aggregate import RunTelemetry, load_run
+from repro.telemetry.metrics import histogram_quantile
 
 
 def _fmt_seconds(seconds: float) -> float:
@@ -105,8 +106,33 @@ def render_run(run: RunTelemetry) -> str:
             lines.append(f"{swept:,.0f} stale cache temp files swept")
         lines.append("")
 
+    slo = {name: payload
+           for name, payload in run.metrics.get("histograms", {}).items()
+           if name.startswith("slo.") and name.endswith(".seconds")
+           and payload["count"]}
+    alerts = counters.get("obs.alerts", 0)
+    if slo or alerts:
+        lines.append("## Observability")
+        for name in sorted(slo):
+            payload = slo[name]
+            operation = name[len("slo."):-len(".seconds")]
+            lines.append(
+                f"{operation}: "
+                f"p50 {histogram_quantile(payload, 0.5) * 1e3:.3f}ms, "
+                f"p95 {histogram_quantile(payload, 0.95) * 1e3:.3f}ms, "
+                f"p99 {histogram_quantile(payload, 0.99) * 1e3:.3f}ms "
+                f"over {payload['count']:,d} observations")
+        if alerts:
+            per_detector = ", ".join(
+                f"{name.removeprefix('obs.alert.')} x{value:,.0f}"
+                for name, value in sorted(counters.items())
+                if name.startswith("obs.alert."))
+            lines.append(f"attack-signal alerts: {alerts:,.0f}"
+                         + (f" ({per_detector})" if per_detector else ""))
+        lines.append("")
+
     interesting = {name: value for name, value in counters.items()
-                   if not name.startswith("privacy.")}
+                   if not name.startswith(("privacy.", "obs."))}
     if interesting:
         lines.append("## Counters")
         width = max(len(name) for name in interesting)

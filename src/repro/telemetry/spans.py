@@ -85,6 +85,7 @@ class _ActiveSpan:
         tracer._next_id += 1
         self._parent_id = tracer._stack[-1] if tracer._stack else None
         tracer._stack.append(self._span_id)
+        tracer._name_stack.append(self._name)
         self._start = tracer._clock()
         return self
 
@@ -96,6 +97,7 @@ class _ActiveSpan:
         tracer = self._tracer
         end = tracer._clock()
         tracer._stack.pop()
+        tracer._name_stack.pop()
         tracer._records.append(SpanRecord(
             name=self._name, span_id=self._span_id,
             parent_id=self._parent_id, process=tracer.process,
@@ -144,11 +146,16 @@ class Tracer:
         self._epoch = clock()
         self._records: list[SpanRecord] = []
         self._stack: list[int] = []
+        self._name_stack: list[str] = []
         self._next_id = 0
 
     def span(self, name: str, **attrs) -> _ActiveSpan:
         """Open a span; use as a context manager."""
         return _ActiveSpan(self, name, attrs)
+
+    def current_span_name(self) -> "str | None":
+        """Name of the innermost open span, for sample attribution."""
+        return self._name_stack[-1] if self._name_stack else None
 
     def records(self) -> list[SpanRecord]:
         """Finished spans sorted in start order."""
@@ -157,6 +164,7 @@ class Tracer:
     def clear(self) -> None:
         self._records.clear()
         self._stack.clear()
+        self._name_stack.clear()
         self._next_id = 0
 
     def to_jsonl(self) -> str:
@@ -182,6 +190,9 @@ class NoopTracer:
 
     def span(self, name: str, **attrs) -> _NoopSpan:
         return NOOP_SPAN
+
+    def current_span_name(self) -> "str | None":
+        return None
 
     def records(self) -> list[SpanRecord]:
         return []

@@ -41,6 +41,7 @@ class Hypervisor:
         self.processor_model = processor_model
         self.host_load = float(host_load)
         self.guests: dict[str, GuestVM] = {}
+        self._read_tap = None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -115,17 +116,32 @@ class Hypervisor:
 
     # -- what SEV does NOT block: the HPC side channel ------------------
 
+    def install_read_tap(self, tap) -> None:
+        """Observe every HPC read: ``tap(guest, vcpu, slot, at)``.
+
+        The tap sees exactly what the read path sees — which guest,
+        which register, and the caller-supplied logical timestamp — and
+        never the counter value, so an observer cannot become a second
+        side channel. One tap at a time; ``None`` uninstalls.
+        """
+        self._read_tap = tap
+
     def read_vcpu_hpc(self, guest_name: str, vcpu_index: int,
-                      slot: int) -> int:
+                      slot: int, at: "float | None" = None) -> int:
         """Read an HPC register mapped to a victim vCPU.
 
         This is the leak: HPC registers are shared hardware outside the
         SEV protection boundary, so the host reads them freely.
+        ``at`` is an optional logical timestamp forwarded to the read
+        tap (defense-side observability); it does not affect the value.
         """
         guest = self._guest(guest_name)
         if not 0 <= vcpu_index < len(guest.vcpus):
             raise IndexError(f"vcpu_index {vcpu_index} out of range")
-        return guest.vcpus[vcpu_index].core.hpc.rdpmc(slot)
+        value = guest.vcpus[vcpu_index].core.hpc.rdpmc(slot)
+        if self._read_tap is not None:
+            self._read_tap(guest_name, vcpu_index, slot, at)
+        return value
 
     def program_vcpu_hpc(self, guest_name: str, vcpu_index: int, slot: int,
                          event: "int | str") -> None:

@@ -217,3 +217,117 @@ class TestFleetCli:
                      "--registry", str(registry_dir)])
         assert code == 0
         assert "served 4 windows" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    SMALL = ["--tenants", "4", "--windows", "2", "--slices", "40"]
+    ATTACKED = [*SMALL, "--attackers", "t02=burst-poll,t03=single-step"]
+
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "serve", "--obs-dir", "obs", "--obs-profile"])
+        assert args.obs_dir == "obs"
+        assert args.obs_profile is True
+        assert args.attackers == ""
+        for sub in (["profile"], ["fuzz"], ["deploy"]):
+            args = build_parser().parse_args([*sub, "--obs"])
+            assert args.obs is True
+
+    def test_obs_profile_requires_obs(self):
+        with pytest.raises(SystemExit, match="--obs"):
+            main(["fleet", "serve", *self.SMALL, "--obs-profile"])
+
+    def test_bad_attacker_spec_exits(self):
+        with pytest.raises(SystemExit, match="attacker"):
+            main(["fleet", "serve", *self.SMALL,
+                  "--attackers", "t02=rowhammer"])
+        with pytest.raises(SystemExit, match="attacker"):
+            main(["fleet", "serve", *self.SMALL, "--attackers", "nope"])
+
+    def test_attacker_on_unknown_tenant_exits(self):
+        with pytest.raises(SystemExit, match="unknown tenant"):
+            main(["fleet", "serve", "--tenants", "2", "--windows", "1",
+                  "--slices", "20", "--attackers", "t09=single-step"])
+
+    def test_serve_with_obs_reports_alerts(self, tmp_path, capsys):
+        code = main(["fleet", "serve", *self.ATTACKED, "--obs",
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 attack-signal alert(s)" in out
+        assert "[critical]" in out and "single-step-cadence" in out
+
+    def test_obs_dir_exports_openmetrics_and_snapshots(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        code = main(["fleet", "serve", *self.ATTACKED,
+                     "--obs-dir", str(obs_dir), "-q"])
+        assert code == 0
+        text = (obs_dir / "metrics.om").read_text()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE slo_fleet_serve_window_seconds histogram" in text
+        assert "obs_alert_burst_polling_total 2" in text
+        from repro.observability import read_export
+        records = read_export(obs_dir / "metrics-snapshots.jsonl")
+        assert [r["seq"] for r in records] == [0]
+
+    def test_obs_profile_reports_samples(self, capsys):
+        code = main(["fleet", "serve", *self.SMALL, "--obs",
+                     "--obs-profile"])
+        assert code == 0
+        assert "profiler:" in capsys.readouterr().out
+
+    def test_status_exits_nonzero_when_degraded(self, tmp_path, capsys):
+        import json
+
+        code = main(["fleet", "serve", *self.SMALL,
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        capsys.readouterr()
+        status_path = tmp_path / "fleet-status.json"
+        status = json.loads(status_path.read_text())
+        status["health"] = {
+            "healthy": False,
+            "reasons": ["tenant t00: daemon heartbeat stalled, "
+                        "watchdog restarted it 2 time(s)"]}
+        status_path.write_text(json.dumps(status))
+        code = main(["fleet", "status", "--state-dir", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "UNHEALTHY" in out
+        assert "watchdog restarted it 2 time(s)" in out
+
+    def test_status_watch_renders_frames(self, tmp_path, capsys):
+        code = main(["fleet", "serve", *self.ATTACKED, "--obs",
+                     "--state-dir", str(tmp_path), "-q"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["fleet", "status", "--state-dir", str(tmp_path),
+                     "--watch", "--frames", "2", "--interval", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("# Fleet status") == 2
+        assert "health: OK" in out
+        assert "## SLO latency" in out
+        assert "## Alerts (6)" in out
+
+    def test_top_renders_dashboard(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        state_dir = tmp_path / "state"
+        code = main(["fleet", "serve", *self.ATTACKED, "--obs",
+                     "--trace-dir", str(trace_dir),
+                     "--state-dir", str(state_dir), "-q"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["top", "--trace", str(trace_dir),
+                     "--state-dir", str(state_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# repro top" in out
+        assert "## SLO latency" in out
+        assert "fleet.serve_window" in out
+        assert "## Busiest counters" in out
+        assert "## Alerts (6)" in out
+
+    def test_top_without_metrics_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="metrics"):
+            main(["top", "--trace", str(tmp_path)])

@@ -424,3 +424,110 @@ def test_batch_disable_env_forces_full_fallback(monkeypatch):
         snapshot = telemetry.metrics().snapshot()
     assert snapshot["counters"]["batch.evals"] == 20.0
     assert snapshot["counters"]["batch.fallback_scalar"] == 20.0
+
+
+# -- bucket presets and quantiles ------------------------------------
+
+
+def test_bucket_presets_resolve():
+    assert telemetry.resolve_bounds("default") \
+        == telemetry.DEFAULT_BUCKETS
+    assert telemetry.resolve_bounds("latency") \
+        == telemetry.LATENCY_BUCKETS
+    assert telemetry.resolve_bounds((2, 4)) == (2.0, 4.0)
+    with pytest.raises(ValueError, match="unknown bucket preset"):
+        telemetry.resolve_bounds("weird")
+    assert set(telemetry.BUCKET_PRESETS) == {"default", "latency"}
+
+
+def test_histogram_accepts_preset_name():
+    h = telemetry.Histogram(bounds="latency")
+    assert h.bounds == telemetry.LATENCY_BUCKETS
+    h.observe(3e-6)
+    assert h.counts[2] == 1  # the (2.5e-6, 5e-6] bucket
+
+
+def test_registry_rejects_re_registration_with_other_bounds():
+    registry = telemetry.MetricsRegistry()
+    first = registry.histogram("slo.x.seconds", "latency")
+    assert registry.histogram("slo.x.seconds", "latency") is first
+    with pytest.raises(ValueError, match="already registered"):
+        registry.histogram("slo.x.seconds", "default")
+    # The bare default is a mismatch too: bounds are part of the name's
+    # contract, so cross-process reduction can never mix bucketings.
+    with pytest.raises(ValueError, match="already registered"):
+        registry.histogram("slo.x.seconds")
+
+
+def test_latency_preset_merges_across_processes():
+    a = telemetry.MetricsRegistry()
+    b = telemetry.MetricsRegistry()
+    a.histogram("slo.x.seconds", "latency").observe(3e-4)
+    b.histogram("slo.x.seconds", "latency").observe(7e-3)
+    merged = telemetry.merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["histograms"]["slo.x.seconds"]["count"] == 2
+
+
+def test_histogram_quantile_interpolates():
+    payload = {"bounds": [1.0, 2.0, 4.0], "counts": [0, 4, 0, 0],
+               "count": 4, "total": 6.0}
+    # All mass in (1, 2]: rank q*4 interpolates linearly inside it.
+    assert telemetry.histogram_quantile(payload, 0.5) == 1.5
+    assert telemetry.histogram_quantile(payload, 1.0) == 2.0
+    empty = {"bounds": [1.0], "counts": [0, 0], "count": 0, "total": 0.0}
+    assert telemetry.histogram_quantile(empty, 0.99) == 0.0
+    with pytest.raises(ValueError):
+        telemetry.histogram_quantile(payload, 1.5)
+
+
+def test_histogram_quantile_overflow_clamps_to_last_bound():
+    payload = {"bounds": [1.0, 2.0], "counts": [0, 0, 3],
+               "count": 3, "total": 300.0}
+    assert telemetry.histogram_quantile(payload, 0.99) == 2.0
+
+
+# -- merged exposition determinism -----------------------------------
+
+
+def _emit_slo_process(trace_dir, process, observations, alerts):
+    with telemetry.session(trace_dir=trace_dir, process=process):
+        histogram = telemetry.metrics().histogram(
+            "slo.fleet.serve_window.seconds", "latency")
+        for value in observations:
+            histogram.observe(value)
+        if alerts:
+            telemetry.metrics().counter("obs.alerts").inc(alerts)
+            telemetry.metrics().counter(
+                "obs.alert.burst-polling").inc(alerts)
+        telemetry.metrics().counter("fleet.windows_served").inc(
+            len(observations))
+
+
+def test_merged_metrics_byte_identical_one_vs_many(tmp_path):
+    """The same observations merged from 1 vs 4 processes produce
+    byte-identical metrics.json and byte-identical rendered reports."""
+    observations = [3e-4, 6e-4, 1.2e-3, 2e-2]
+    one = tmp_path / "one"
+    _emit_slo_process(one, "main", observations, alerts=4)
+    many = tmp_path / "many"
+    _emit_slo_process(many, "main", observations[:1], alerts=1)
+    for i, value in enumerate(observations[1:]):
+        _emit_slo_process(many, f"shard-{i:05d}", [value], alerts=1)
+    telemetry.merge_run(one)
+    telemetry.merge_run(many)
+    merged_one = (one / telemetry.MERGED_METRICS).read_bytes()
+    merged_many = (many / telemetry.MERGED_METRICS).read_bytes()
+    assert merged_one == merged_many
+    assert telemetry.render_trace_dir(one) \
+        == telemetry.render_trace_dir(many)
+
+
+def test_render_observability_section(tmp_path):
+    _emit_slo_process(tmp_path, "main", [3e-4, 6e-4, 1.2e-3], alerts=2)
+    text = telemetry.render_trace_dir(tmp_path)
+    assert "## Observability" in text
+    assert "fleet.serve_window: p50" in text
+    assert "attack-signal alerts: 2 (burst-polling x2)" in text
+    # obs.* counters live in the Observability section, not Counters.
+    assert "fleet.windows_served" in text
+    assert "obs.alerts " not in text
