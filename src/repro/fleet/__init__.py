@@ -9,6 +9,12 @@ closed on both), and a scheduler multiplexes daemon heartbeats,
 watchdog restarts, and host HPC reads across the fleet. A trace-replay
 load generator drives it deterministically enough to assert
 bit-identity across runs.
+
+Beyond one process, a consistent-hash router shards the tenant set
+across sacrificial worker processes (zero-copy shared-memory noise
+plans, crash-and-replay recovery) while keeping every per-tenant
+stream derived from the fleet root seed — so replay digests are
+bit-identical at any shard count.
 """
 
 from repro.fleet.admission import AdmissionController, AdmissionDecision
@@ -32,8 +38,18 @@ from repro.fleet.provisioner import (
     DEFAULT_CAPACITY,
     DEFAULT_WATERMARK,
     NoiseProvisioner,
+    SharedPlanSegment,
     TenantNoiseBuffer,
 )
+from repro.fleet.router import DEFAULT_REPLICAS, FleetRouter
+from repro.fleet.shard import (
+    FleetShard,
+    ShardCrashed,
+    ShardedFleet,
+    ShardedReplayReport,
+    ShardReport,
+)
+from repro.fleet.statefile import read_json, sweep_stale_tmp, write_json_atomic
 from repro.fleet.registry import (
     ArtifactCompatibilityError,
     ArtifactRegistry,
@@ -52,14 +68,22 @@ __all__ = [
     "ArtifactRegistry",
     "AttackerProfile",
     "DEFAULT_CAPACITY",
+    "DEFAULT_REPLICAS",
     "DEFAULT_WATERMARK",
     "FleetControlPlane",
     "FleetLedger",
+    "FleetRouter",
+    "FleetShard",
     "LoadGenerator",
     "NoiseProvisioner",
     "RegistryEntry",
     "RegistryIntegrityError",
     "ReplayReport",
+    "ShardCrashed",
+    "ShardReport",
+    "ShardedFleet",
+    "ShardedReplayReport",
+    "SharedPlanSegment",
     "TenantNoiseBuffer",
     "TenantRuntime",
     "TenantSpec",
@@ -70,5 +94,8 @@ __all__ = [
     "default_specs",
     "event_weight_matrix",
     "make_workload",
+    "read_json",
     "record_trace",
+    "sweep_stale_tmp",
+    "write_json_atomic",
 ]

@@ -34,6 +34,7 @@ fault check precedes every stream draw.
 
 from __future__ import annotations
 
+import heapq
 import math
 import time
 from dataclasses import dataclass, field
@@ -107,6 +108,20 @@ class FleetControlPlane:
     monitored_events:
         Host-visible HPC events served to readers; defaults to the
         artifact's top four vulnerable events (the paper's count).
+    housekeeping_interval:
+        Ticks between one tenant's housekeeping visits (watchdog poll,
+        host HPC reads, watermark check). ``1`` — the default — visits
+        every tenant every tick, byte-for-byte the old full-sweep
+        schedule; larger intervals make :meth:`tick` event-driven: a
+        min-heap of ``(due_tick, tenant)`` is popped instead of
+        sweeping the whole fleet, so a tick costs O(due log N) rather
+        than O(N). Serving is unaffected either way — noised reads and
+        ledgers are bit-identical across intervals.
+    shared_plans:
+        Back tenant noise plans with ``multiprocessing.shared_memory``
+        segments (see :class:`~repro.fleet.provisioner
+        .SharedPlanSegment`); shard workers enable this so the
+        provisioner→serving handoff is zero-copy and parent-mappable.
     """
 
     def __init__(self, artifact: DeploymentArtifact, seed: int = 0,
@@ -115,7 +130,9 @@ class FleetControlPlane:
                  watermark: int = DEFAULT_WATERMARK,
                  refill_retries: int = 4,
                  stale_polls: int = 2,
-                 hypervisor: "Hypervisor | None" = None) -> None:
+                 hypervisor: "Hypervisor | None" = None,
+                 housekeeping_interval: int = 1,
+                 shared_plans: bool = False) -> None:
         if artifact.mechanism != "laplace":
             raise ValueError(
                 "the fleet control plane precomputes value-independent "
@@ -136,13 +153,18 @@ class FleetControlPlane:
         reference_weights = self.catalog.weights[
             self.catalog.index_of(artifact.reference_event)]
         scale = artifact.sensitivity / artifact.epsilon
+        if housekeeping_interval < 1:
+            raise ValueError(f"housekeeping_interval must be >= 1, "
+                             f"got {housekeeping_interval}")
+        self.housekeeping_interval = int(housekeeping_interval)
         self.provisioner = NoiseProvisioner(
             entropy=self.seed, scale=scale,
             components=artifact.segment_signals,
             reference_weights=reference_weights,
             clip_bound=artifact.clip_bound,
             capacity=capacity, watermark=watermark,
-            refill_retries=refill_retries)
+            refill_retries=refill_retries,
+            shared_plans=shared_plans)
         # The serving projection: per-repetition monitored-event counts
         # of each gadget component, (K, E).
         self._comp_event = self.provisioner.components @ self._event_weights
@@ -155,6 +177,11 @@ class FleetControlPlane:
         self.tenants: dict[str, TenantRuntime] = {}
         self.ticks = 0
         self._guest_tenant: dict[str, str] = {}
+        # Event-driven scheduling: (due_tick, tenant_id) min-heap. Ties
+        # resolve by tenant id (tuple order), and the due set is sorted
+        # before processing, so the visit order within a tick matches
+        # the old sorted full sweep exactly.
+        self._due: list[tuple[int, str]] = []
         self.hypervisor.install_read_tap(self._on_host_read)
 
     @property
@@ -204,6 +231,7 @@ class FleetControlPlane:
             watchdog=DaemonWatchdog(daemon, stale_polls=self.stale_polls))
         self.tenants[spec.tenant_id] = runtime
         self._guest_tenant[guest.name] = spec.tenant_id
+        heapq.heappush(self._due, (self.ticks + 1, spec.tenant_id))
         registry = telemetry.metrics()
         if registry.enabled:
             registry.counter("fleet.tenants_admitted").inc()
@@ -304,7 +332,7 @@ class FleetControlPlane:
         return result
 
     def _tick(self) -> dict:
-        """One control-loop round over every tenant, in sorted order.
+        """One control-loop round over the tenants *due* this tick.
 
         Multiplexes the housekeeping a deployment runs continuously:
         watermark-driven provisioning, daemon watchdog polls, and one
@@ -314,12 +342,24 @@ class FleetControlPlane:
         offsets) so the signal extractor sees them on a coarser
         timebase than any polling burst — they reset runs, never
         extend them.
+
+        Due tenants come off the ``(due_tick, tenant)`` min-heap and go
+        back on at ``tick + housekeeping_interval``; with the default
+        interval of 1 every tenant is due every tick and the schedule
+        is identical to the old sorted full sweep. The heap is what
+        makes a six-figure-tenant tick affordable: cost scales with the
+        due set, never the fleet.
         """
         self.ticks += 1
-        with telemetry.tracer().span("fleet.tick", tick=self.ticks):
-            provisioned = self.provisioner.top_up()
+        due: list[str] = []
+        while self._due and self._due[0][0] <= self.ticks:
+            due.append(heapq.heappop(self._due)[1])
+        due.sort()
+        with telemetry.tracer().span("fleet.tick", tick=self.ticks,
+                                     due=len(due)):
+            provisioned = self.provisioner.top_up(only=due)
             restarts = 0
-            for tenant_id in sorted(self.tenants):
+            for tenant_id in due:
                 runtime = self.tenants[tenant_id]
                 if not runtime.watchdog.poll():
                     restarts += 1
@@ -328,11 +368,22 @@ class FleetControlPlane:
                         runtime.guest_name, 0, slot,
                         at=self.ticks + slot * 0.125)
                 runtime.hpc_reads += len(self.monitored_events)
+                heapq.heappush(
+                    self._due,
+                    (self.ticks + self.housekeeping_interval, tenant_id))
         registry = telemetry.metrics()
         if registry.enabled:
             registry.counter("fleet.ticks").inc()
-        return {"tick": self.ticks, "provisioned_slices": provisioned,
+        return {"tick": self.ticks, "due_tenants": len(due),
+                "provisioned_slices": provisioned,
                 "daemon_restarts": restarts}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release provisioner buffers (and any shared-memory
+        segments backing them). The plane is unusable afterwards."""
+        self.provisioner.close()
 
     # -- introspection -------------------------------------------------
 

@@ -174,6 +174,11 @@ class LoadGenerator:
         tenant's window is served, its attack trace replays against
         that tenant's guest, exercising the observability plane's
         detectors under otherwise-normal fleet load.
+    window_hook:
+        Optional ``hook(window_index)`` called after each completed
+        window (all tenants served, ticks run). Shard workers hang
+        their ``fleet.shard`` crash fault point here, so a chaos plan
+        can kill a shard *mid-replay* with progress already made.
     """
 
     def __init__(self, plane: FleetControlPlane, specs: list[TenantSpec],
@@ -181,7 +186,8 @@ class LoadGenerator:
                  concurrency: "int | None" = None,
                  ticks_per_round: int = 1,
                  slice_s: float = 1e-3,
-                 attackers: "dict[str, AttackerProfile] | None" = None
+                 attackers: "dict[str, AttackerProfile] | None" = None,
+                 window_hook=None,
                  ) -> None:
         if windows < 1:
             raise ValueError(f"windows must be >= 1, got {windows}")
@@ -198,6 +204,7 @@ class LoadGenerator:
         self.concurrency = concurrency
         self.ticks_per_round = ticks_per_round
         self.slice_s = slice_s
+        self.window_hook = window_hook
         self.attackers = dict(attackers) if attackers else {}
         known = {spec.tenant_id for spec in self.specs}
         unknown = sorted(set(self.attackers) - known)
@@ -279,6 +286,8 @@ class LoadGenerator:
                                                 window)
                     for _ in range(self.ticks_per_round):
                         plane.tick()
+                if self.window_hook is not None:
+                    self.window_hook(window)
         elapsed = time.perf_counter() - start
         budgets = plane.ledger.snapshot()
         budget_digest = hashlib.sha256(

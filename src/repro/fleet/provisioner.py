@@ -34,6 +34,10 @@ backpressure, never an un-noised read.
 
 from __future__ import annotations
 
+import os
+import secrets
+from multiprocessing import shared_memory
+
 import numpy as np
 
 from repro.core.obfuscator.dp import laplace_sample
@@ -49,6 +53,79 @@ DEFAULT_CAPACITY = 12288
 #: Default refill watermark: top up once fewer slices remain.
 DEFAULT_WATERMARK = 4096
 
+#: Shared-memory segment name prefix; names embed the creating pid so a
+#: supervisor can sweep a crashed worker's leaked segments.
+SEGMENT_PREFIX = "repro-plan"
+
+
+class SharedPlanSegment:
+    """A ``multiprocessing.shared_memory`` block holding one tenant's
+    noise plan: ``capacity`` raw draws followed by the ``(capacity, K)``
+    per-component repetition plan, both as float64 numpy views.
+
+    This is the zero-copy handoff between the provisioner and the
+    serving path: the provisioner draws straight into the segment, the
+    serving matmul reads views of the same pages, and any process that
+    knows ``(name, capacity, k)`` can :meth:`attach` the identical
+    buffers without a byte copied or pickled.
+    """
+
+    ITEMSIZE = np.dtype(np.float64).itemsize
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int,
+                 num_components: int, owner: bool) -> None:
+        self.capacity = int(capacity)
+        self.num_components = int(num_components)
+        self.owner = owner
+        self._shm = shm
+        split = self.capacity * self.ITEMSIZE
+        self.noise = np.ndarray((self.capacity,), dtype=np.float64,
+                                buffer=shm.buf, offset=0)
+        self.per_comp = np.ndarray((self.capacity, self.num_components),
+                                   dtype=np.float64, buffer=shm.buf,
+                                   offset=split)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def nbytes(cls, capacity: int, num_components: int) -> int:
+        return capacity * (1 + num_components) * cls.ITEMSIZE
+
+    @classmethod
+    def create(cls, tenant_id: str, capacity: int,
+               num_components: int) -> "SharedPlanSegment":
+        """Allocate a fresh segment (name unique per process + tenant)."""
+        name = (f"{SEGMENT_PREFIX}-{os.getpid()}-"
+                f"{secrets.token_hex(4)}-{tenant_id}"[:30])
+        shm = shared_memory.SharedMemory(
+            name=name, create=True,
+            size=cls.nbytes(capacity, num_components))
+        return cls(shm, capacity, num_components, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int,
+               num_components: int) -> "SharedPlanSegment":
+        """Map an existing segment by name (the cross-process side)."""
+        shm = shared_memory.SharedMemory(name=name, create=False)
+        return cls(shm, capacity, num_components, owner=False)
+
+    def close(self, unlink: "bool | None" = None) -> None:
+        """Drop the views and unmap; owners also unlink by default."""
+        self.noise = None
+        self.per_comp = None
+        self._shm.close()
+        if self.owner if unlink is None else unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def describe(self) -> dict:
+        return {"name": self.name, "capacity": self.capacity,
+                "num_components": self.num_components}
+
 
 class TenantNoiseBuffer:
     """One tenant's precomputed noise: raw draws + injection plan.
@@ -58,12 +135,18 @@ class TenantNoiseBuffer:
     live and correspond one-to-one; consumption advances the shared
     cursor so the supplier path and the batched serving path can never
     double-spend a draw.
+
+    With ``segment`` the arrays are views over a
+    :class:`SharedPlanSegment` instead of private heap allocations —
+    same semantics, but the plan is mappable from other processes and
+    the provisioner→serving handoff is guaranteed zero-copy.
     """
 
     def __init__(self, tenant_id: str, capacity: int, watermark: int,
                  num_components: int,
                  noise_rng: np.random.Generator,
-                 mix_rng: np.random.Generator) -> None:
+                 mix_rng: np.random.Generator,
+                 segment: "SharedPlanSegment | None" = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if not 0 <= watermark <= capacity:
@@ -72,14 +155,33 @@ class TenantNoiseBuffer:
         self.tenant_id = tenant_id
         self.capacity = capacity
         self.watermark = watermark
-        self.noise = np.empty(capacity)
-        self.per_comp = np.empty((capacity, num_components))
+        self.segment = segment
+        if segment is not None:
+            if (segment.capacity != capacity
+                    or segment.num_components != num_components):
+                raise ValueError(
+                    f"segment geometry ({segment.capacity}, "
+                    f"{segment.num_components}) does not match buffer "
+                    f"({capacity}, {num_components})")
+            self.noise = segment.noise
+            self.per_comp = segment.per_comp
+        else:
+            self.noise = np.empty(capacity)
+            self.per_comp = np.empty((capacity, num_components))
         self.cursor = 0
         self.fill = 0
         self.refills = 0
         self.stalls = 0
         self._noise_rng = noise_rng
         self._mix_rng = mix_rng
+
+    def release(self) -> None:
+        """Drop array references (and the shared segment, if any)."""
+        self.noise = None
+        self.per_comp = None
+        if self.segment is not None:
+            self.segment.close()
+            self.segment = None
 
     @property
     def available(self) -> int:
@@ -133,6 +235,16 @@ class NoiseProvisioner:
         counts-per-repetition conversion, as in the stock injector.
     clip_bound:
         B_u applied to the noise counts before planning repetitions.
+    shared_plans:
+        Back every tenant buffer with a :class:`SharedPlanSegment`
+        (zero-copy, cross-process mappable) instead of private heap
+        arrays. Callers that enable this own calling :meth:`close`.
+
+    Reshard invariance: ``entropy`` must be the *fleet root* seed, not
+    anything shard-local. Tenant streams derive as ``(entropy, "noise"
+    | "mix", tenant_id)``, so two provisioners on different shards —
+    or one fleet resharded from 1 to 4 workers — produce bit-identical
+    plans for the same tenant.
     """
 
     def __init__(self, entropy: int, scale: float,
@@ -140,7 +252,8 @@ class NoiseProvisioner:
                  clip_bound: float = np.inf,
                  capacity: int = DEFAULT_CAPACITY,
                  watermark: int = DEFAULT_WATERMARK,
-                 refill_retries: int = 4) -> None:
+                 refill_retries: int = 4,
+                 shared_plans: bool = False) -> None:
         if scale < 0:
             raise ValueError(f"scale must be non-negative, got {scale}")
         if refill_retries < 0:
@@ -161,6 +274,7 @@ class NoiseProvisioner:
         self.capacity = capacity
         self.watermark = watermark
         self.refill_retries = refill_retries
+        self.shared_plans = bool(shared_plans)
         self._inv_counts = 1.0 / counts
         self.buffers: dict[str, TenantNoiseBuffer] = {}
 
@@ -176,13 +290,30 @@ class NoiseProvisioner:
         if tenant_id in self.buffers:
             raise ValueError(
                 f"tenant {tenant_id!r} already has a noise buffer")
+        segment = None
+        if self.shared_plans:
+            segment = SharedPlanSegment.create(
+                tenant_id, self.capacity, self.num_components)
         buffer = TenantNoiseBuffer(
             tenant_id, self.capacity, self.watermark,
             self.num_components,
             noise_rng=derive_stream(self.entropy, "noise", tenant_id),
-            mix_rng=derive_stream(self.entropy, "mix", tenant_id))
+            mix_rng=derive_stream(self.entropy, "mix", tenant_id),
+            segment=segment)
         self.buffers[tenant_id] = buffer
         return buffer
+
+    def close(self) -> None:
+        """Release every buffer (unlinks shared segments). Idempotent."""
+        for buffer in self.buffers.values():
+            buffer.release()
+        self.buffers.clear()
+
+    def plan_segments(self) -> dict:
+        """``{tenant_id: segment description}`` for shared-plan fleets."""
+        return {tenant_id: buffer.segment.describe()
+                for tenant_id, buffer in sorted(self.buffers.items())
+                if buffer.segment is not None}
 
     def buffer(self, tenant_id: str) -> TenantNoiseBuffer:
         try:
@@ -287,18 +418,23 @@ class NoiseProvisioner:
             return noise.copy()
         return pull
 
-    def top_up(self) -> int:
-        """Refill every buffer below its watermark; returns slices
-        provisioned. Tenants are visited in sorted order so the
-        schedule is deterministic.
+    def top_up(self, only: "list[str] | None" = None) -> int:
+        """Refill buffers below their watermark; returns slices
+        provisioned. ``only`` restricts the sweep to the named tenants
+        (the event-driven scheduler passes the tick's due set so the
+        cost is O(due), not O(fleet)); ``None`` sweeps everyone.
+        Tenants are visited in sorted order so the schedule is
+        deterministic.
 
         Best-effort: a tenant whose refill stays stalled past its
         retries is skipped (the stall is already counted) — the next
         serving attempt fails closed at admission as backpressure.
         A wedged provisioner must never take the scheduler down with
         it."""
+        tenant_ids = sorted(self.buffers) if only is None \
+            else sorted(set(only) & self.buffers.keys())
         provisioned = 0
-        for tenant_id in sorted(self.buffers):
+        for tenant_id in tenant_ids:
             buffer = self.buffers[tenant_id]
             if buffer.below_watermark:
                 try:

@@ -1,0 +1,148 @@
+"""Consistent-hash tenant routing for the sharded control plane.
+
+The sharded fleet needs one answer to one question — *which shard owns
+tenant T?* — and the answer has to be stable in exactly the way
+horizontal scaling stresses it:
+
+- **deterministic across processes**: every shard worker, the parent
+  supervisor, and a replay next week must agree without coordination,
+  so placement hashes through SHA-256 (via
+  :func:`repro.utils.rng.stream_key`), never Python's per-process
+  string hash;
+- **minimally disruptive under resharding**: growing the fleet from N
+  to N+1 shards must move only the tenants the *new* shard takes over
+  (~1/(N+1) of them), and removing a crashed shard must move only the
+  crashed shard's tenants — every other tenant stays put, which is
+  what keeps reassign-and-replay recovery O(crashed tenants) instead
+  of O(fleet).
+
+Both properties fall out of a classic consistent-hash ring: each shard
+projects ``replicas`` virtual points onto a 64-bit ring, a tenant maps
+to the first shard point at or after its own hash (wrapping), and
+adding or removing a shard only edits that shard's points. The
+property tests in ``tests/test_fleet_sharding.py`` pin the exact
+only-to-the-new-shard / only-from-the-removed-shard guarantees, not
+just the statistical ~1/N movement.
+
+Note what the router deliberately does *not* influence: per-tenant
+noise streams. Those derive from ``(root seed, "noise"/"mix",
+tenant_id)`` with no shard label, so a tenant's injection plan — and
+therefore its noised-read digest — is bit-identical no matter which
+shard serves it. The router decides *where* work runs, never *what*
+the tenant observes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.utils.rng import stream_key
+
+#: Virtual ring points per shard. 64 keeps the max/min tenant-load
+#: ratio near 1 for fleets of tens of shards while the ring stays a
+#: few-KB sorted list.
+DEFAULT_REPLICAS = 64
+
+#: The ring is a 64-bit space (matches ``stream_key``'s output width).
+RING_BITS = 64
+
+
+def _ring_point(shard_id: int, replica: int) -> int:
+    """The ring position of one virtual node, stable across processes."""
+    return stream_key(f"fleet-shard:{shard_id}:replica:{replica}")
+
+
+def _tenant_point(tenant_id: str) -> int:
+    return stream_key(f"fleet-tenant:{tenant_id}")
+
+
+class FleetRouter:
+    """Maps tenant ids onto a fixed set of shard ids.
+
+    Parameters
+    ----------
+    shard_ids:
+        The live shards, by integer id. Ids need not be contiguous —
+        after a crash the survivors keep their ids, which is what keeps
+        their tenants pinned in place.
+    replicas:
+        Virtual points per shard on the ring.
+    """
+
+    def __init__(self, shard_ids, replicas: int = DEFAULT_REPLICAS) -> None:
+        ids = tuple(int(s) for s in shard_ids)
+        if not ids:
+            raise ValueError("a router needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids: {sorted(ids)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shard_ids = tuple(sorted(ids))
+        self.replicas = int(replicas)
+        ring = []
+        for shard_id in self.shard_ids:
+            for replica in range(self.replicas):
+                ring.append((_ring_point(shard_id, replica), shard_id))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [owner for _, owner in ring]
+
+    @classmethod
+    def for_shard_count(cls, shards: int,
+                        replicas: int = DEFAULT_REPLICAS) -> "FleetRouter":
+        """A router over shard ids ``0 .. shards-1``."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return cls(range(shards), replicas=replicas)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_ids)
+
+    def assign(self, tenant_id: str) -> int:
+        """The shard owning ``tenant_id``: first ring point clockwise."""
+        index = bisect_left(self._points, _tenant_point(tenant_id))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[index]
+
+    def assignments(self, tenant_ids) -> "dict[int, list[str]]":
+        """Tenants grouped by owning shard.
+
+        Every live shard appears (possibly with an empty list) and each
+        shard's tenants come back sorted, so iteration order — and
+        therefore every shard's admission order — is deterministic.
+        """
+        grouped: dict[int, list[str]] = {s: [] for s in self.shard_ids}
+        for tenant_id in sorted(set(tenant_ids)):
+            grouped[self.assign(tenant_id)].append(tenant_id)
+        return grouped
+
+    def without_shard(self, shard_id: int) -> "FleetRouter":
+        """The router after ``shard_id`` leaves (crash reassignment).
+
+        Surviving shards keep their ring points, so only the departed
+        shard's tenants get new owners.
+        """
+        shard_id = int(shard_id)
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"no such shard {shard_id}")
+        survivors = tuple(s for s in self.shard_ids if s != shard_id)
+        if not survivors:
+            raise ValueError(
+                f"removing shard {shard_id} would leave an empty fleet")
+        return FleetRouter(survivors, replicas=self.replicas)
+
+    def with_shard(self, shard_id: int) -> "FleetRouter":
+        """The router after ``shard_id`` joins (fleet growth)."""
+        shard_id = int(shard_id)
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard {shard_id} already routed")
+        return FleetRouter(self.shard_ids + (shard_id,),
+                           replicas=self.replicas)
+
+    def describe(self) -> dict:
+        """JSON-ready summary for status outputs."""
+        return {"shard_ids": list(self.shard_ids),
+                "replicas": self.replicas,
+                "ring_points": len(self._points)}

@@ -109,6 +109,17 @@ class SloTracker:
         return {name: self._windows[name].readout()
                 for name in sorted(self._windows)}
 
+    def export_values(self) -> "dict[str, list[float]]":
+        """Raw retained observations per window, oldest first.
+
+        This is what crosses a process boundary: shard workers export
+        their windows and the fleet supervisor merges them with
+        :func:`merge_values` into fleet-wide quantiles — exact over the
+        union of retained samples, not an average of averages.
+        """
+        return {name: self._windows[name].values()
+                for name in sorted(self._windows)}
+
     def clear(self) -> None:
         self._windows.clear()
 
@@ -139,3 +150,29 @@ class NoopSloTracker:
 
 
 NOOP_SLO = NoopSloTracker()
+
+
+def merge_values(exports: "list[dict[str, list[float]]]",
+                 capacity: "int | None" = None) -> dict:
+    """Merge per-shard :meth:`SloTracker.export_values` payloads into
+    fleet-wide readouts.
+
+    Every shard's retained observations for one operation pour into a
+    single window (sized to hold them all unless ``capacity`` caps it),
+    so the resulting p50/p95/p99 are exact nearest-rank quantiles over
+    the union — the fleet-level latency objective, not a mean of
+    per-shard quantiles (which would be statistically meaningless).
+    """
+    pooled: dict[str, list[float]] = {}
+    for export in exports:
+        for name, values in export.items():
+            pooled.setdefault(name, []).extend(values)
+    merged = {}
+    for name in sorted(pooled):
+        values = pooled[name]
+        window = SloWindow(capacity if capacity is not None
+                           else max(1, len(values)))
+        for value in values:
+            window.observe(value)
+        merged[name] = window.readout()
+    return merged

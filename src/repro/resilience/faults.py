@@ -15,6 +15,11 @@ The instrumented fault points:
 ``cache.store.read``      a measurement-cache disk object read
 ``checkpoint.write``      a shard checkpoint write (torn-write simulation)
 ``daemon.noise_refill``   the obfuscator daemon's noise-buffer refill
+``fleet.admit``           the fleet admission controller's decision path
+``fleet.provision``       a fleet noise-provisioner refill
+``fleet.shard``           a fleet shard worker's replay loop (kill =
+                          shard crash; the supervisor reassigns and
+                          replays its tenants)
 ``kernel_module.read``    an RDPMC read inside the in-guest kernel module
 ========================  ==================================================
 
@@ -47,7 +52,7 @@ from repro.telemetry import runtime as telemetry
 #: Every site instrumented with :func:`repro.resilience.runtime.check`.
 FAULT_POINTS = ("campaign.shard", "cache.store.read", "checkpoint.write",
                 "daemon.noise_refill", "fleet.admit", "fleet.provision",
-                "kernel_module.read")
+                "fleet.shard", "kernel_module.read")
 
 #: Supported failure modes.
 FAULT_MODES = ("raise", "hang", "corrupt", "kill")

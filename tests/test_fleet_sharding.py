@@ -1,0 +1,421 @@
+"""Tests for the horizontally sharded fleet control plane.
+
+Three properties carry the sharded design and are pinned here:
+
+- **routing** — consistent-hash placement is deterministic and moves
+  only the tenants a reshard must move (exact, not just ~1/N);
+- **reshard bit-identity** — per-tenant replay digests equal the
+  single-plane fleet's at any shard count, under injected provision
+  faults, and through kill-a-shard crash recovery;
+- **state plumbing** — zero-copy shared-memory plans really share
+  pages across processes, status files survive torn writes, and the
+  event-driven tick only visits due tenants without changing a digest.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.fleet import (
+    FleetControlPlane,
+    FleetRouter,
+    LoadGenerator,
+    ShardCrashed,
+    ShardedFleet,
+    SharedPlanSegment,
+    default_artifact,
+    default_specs,
+    read_json,
+    sweep_stale_tmp,
+    write_json_atomic,
+)
+from repro.fleet.shard import FleetShard, sweep_worker_segments
+from repro.fleet.statefile import TMP_PREFIX, TMP_SUFFIX
+from repro.observability.slo import merge_values
+from repro.resilience.faults import FaultPlan
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
+
+SEED = 11
+WINDOWS = 2
+SLICES = 60
+
+tenant_ids = st.lists(
+    st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=40, unique=True)
+
+
+def kill_plan(*match, times=1):
+    return FaultPlan.parse(json.dumps({
+        "seed": 3,
+        "faults": [{"point": "fleet.shard", "mode": "kill",
+                    "times": times, "match": list(match)}]}))
+
+
+def run_sharded(artifact, specs, shards=2, mode="inline", **kwargs):
+    run_kwargs = {k: kwargs.pop(k) for k in ("observe",) if k in kwargs}
+    fleet = ShardedFleet(artifact, shards=shards, seed=SEED, **kwargs)
+    return fleet.run(specs, windows=WINDOWS, slices_per_window=SLICES,
+                     mode=mode, **run_kwargs)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return default_artifact()
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return default_specs(6)
+
+
+@pytest.fixture(scope="module")
+def reference(artifact, specs):
+    """The unsharded fleet's fingerprint — what every shard count,
+    fault leg, and recovery path must reproduce byte for byte."""
+    plane = FleetControlPlane(artifact, seed=SEED)
+    return LoadGenerator(plane, list(specs), windows=WINDOWS,
+                         slices_per_window=SLICES).run().fingerprint()
+
+
+class TestRouter:
+    @given(tenants=tenant_ids, shards=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_assignment_deterministic_and_total(self, tenants, shards):
+        router = FleetRouter.for_shard_count(shards)
+        rebuilt = FleetRouter.for_shard_count(shards)
+        grouped = router.assignments(tenants)
+        assert sorted(t for ts in grouped.values() for t in ts) \
+            == sorted(tenants)
+        assert set(grouped) == set(range(shards))
+        for tenant in tenants:
+            assert router.assign(tenant) == rebuilt.assign(tenant)
+
+    @given(tenants=tenant_ids, shards=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_growth_moves_tenants_only_to_the_new_shard(self, tenants,
+                                                        shards):
+        router = FleetRouter.for_shard_count(shards)
+        grown = router.with_shard(shards)
+        for tenant in tenants:
+            before, after = router.assign(tenant), grown.assign(tenant)
+            assert after == before or after == shards
+
+    @given(tenants=tenant_ids, shards=st.integers(2, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_crash_moves_only_the_crashed_shards_tenants(self, tenants,
+                                                         shards):
+        router = FleetRouter.for_shard_count(shards)
+        crashed = CHAOS_SEED % shards
+        shrunk = router.without_shard(crashed)
+        for tenant in tenants:
+            before, after = router.assign(tenant), shrunk.assign(tenant)
+            if before == crashed:
+                assert after != crashed
+            else:
+                assert after == before
+
+    def test_every_shard_gets_tenants_at_scale(self):
+        router = FleetRouter.for_shard_count(4)
+        grouped = router.assignments(f"t{i:03d}" for i in range(256))
+        sizes = {shard: len(ts) for shard, ts in grouped.items()}
+        assert all(sizes[s] > 0 for s in range(4)), sizes
+        assert max(sizes.values()) / min(sizes.values()) < 4.0, sizes
+
+    def test_rejects_empty_duplicate_and_exhausted(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            FleetRouter(())
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetRouter((1, 1))
+        with pytest.raises(ValueError, match="empty fleet"):
+            FleetRouter((0,)).without_shard(0)
+        with pytest.raises(ValueError, match="already routed"):
+            FleetRouter((0,)).with_shard(0)
+
+
+class TestStatefile:
+    def test_atomic_write_round_trips(self, tmp_path):
+        path = write_json_atomic(tmp_path / "state.json", {"a": [1, 2]})
+        assert read_json(path) == {"a": [1, 2]}
+
+    def test_write_replaces_without_torn_state(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_json_atomic(path, {"generation": 1})
+        write_json_atomic(path, {"generation": 2})
+        assert read_json(path) == {"generation": 2}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_stale_tmp_from_a_crashed_writer_is_swept(self, tmp_path):
+        stale = tmp_path / f"{TMP_PREFIX}orphan{TMP_SUFFIX}"
+        stale.write_text("{\"trunca")
+        assert sweep_stale_tmp(tmp_path) == 1
+        assert not stale.exists()
+        stale.write_text("{\"trunca")
+        write_json_atomic(tmp_path / "state.json", {"ok": True})
+        assert not stale.exists()
+
+
+def _child_fill_segment(name, capacity, num_components):
+    segment = SharedPlanSegment.attach(name, capacity, num_components)
+    segment.noise[:] = np.arange(capacity, dtype=np.float64)
+    segment.per_comp[:] = 2.0
+    segment.close()
+
+
+class TestSharedPlanSegment:
+    def test_cross_process_zero_copy(self):
+        segment = SharedPlanSegment.create("t00", capacity=32,
+                                           num_components=3)
+        try:
+            proc = multiprocessing.Process(
+                target=_child_fill_segment,
+                args=(segment.name, 32, 3))
+            proc.start()
+            proc.join(30)
+            assert proc.exitcode == 0
+            np.testing.assert_array_equal(
+                segment.noise, np.arange(32, dtype=np.float64))
+            assert float(segment.per_comp.sum()) == 32 * 3 * 2.0
+        finally:
+            segment.close(unlink=True)
+
+    def test_provisioned_plans_live_in_the_segment(self, artifact):
+        plane = FleetControlPlane(artifact, seed=SEED, capacity=64,
+                                  watermark=16, shared_plans=True)
+        try:
+            plane.admit_tenant(default_specs(1)[0])
+            buffer = plane.provisioner.buffers["t00"]
+            assert buffer.segment is not None
+            assert np.shares_memory(buffer.noise, buffer.segment.noise)
+            assert np.shares_memory(buffer.per_comp,
+                                    buffer.segment.per_comp)
+            assert plane.provisioner.plan_segments()["t00"]["capacity"] \
+                == 64
+        finally:
+            plane.close()
+        assert buffer.segment is None
+
+    def test_geometry_mismatch_rejected(self):
+        segment = SharedPlanSegment.create("t00", capacity=32,
+                                           num_components=3)
+        try:
+            with pytest.raises(ValueError, match="geometry"):
+                from repro.fleet import TenantNoiseBuffer
+                rng = np.random.default_rng(0)
+                TenantNoiseBuffer("t00", capacity=16, watermark=4,
+                                  num_components=3, noise_rng=rng,
+                                  mix_rng=rng, segment=segment)
+        finally:
+            segment.close(unlink=True)
+
+    def test_crashed_worker_segments_are_sweepable(self):
+        segment = SharedPlanSegment.create("t99", capacity=8,
+                                           num_components=2)
+        name = segment.name
+        segment.close(unlink=False)  # simulate a kill: mapped, never unlinked
+        swept = sweep_worker_segments(os.getpid())
+        if swept:  # /dev/shm hosts only
+            assert name in swept
+            with pytest.raises(FileNotFoundError):
+                SharedPlanSegment.attach(name, 8, 2)
+        else:
+            SharedPlanSegment.attach(name, 8, 2).close(unlink=True)
+
+
+class TestEventDrivenTick:
+    def test_interval_one_sweeps_every_tenant(self, artifact, specs):
+        plane = FleetControlPlane(artifact, seed=SEED)
+        for spec in specs:
+            plane.admit_tenant(spec)
+        result = plane.tick()
+        assert result["due_tenants"] == len(specs)
+
+    def test_larger_interval_visits_only_due_tenants(self, artifact,
+                                                     specs, reference):
+        plane = FleetControlPlane(artifact, seed=SEED,
+                                  housekeeping_interval=3)
+        report = LoadGenerator(plane, list(specs), windows=WINDOWS,
+                               slices_per_window=SLICES,
+                               ticks_per_round=1).run()
+        # Housekeeping cadence must never leak into tenant digests:
+        # reads are host-side observations, noise plans are stream-
+        # positional, and neither depends on tick scheduling.
+        assert report.fingerprint() == reference
+        due = [plane.tick()["due_tenants"] for _ in range(6)]
+        assert sum(due) == len(specs) * 2  # each tenant due twice in 6
+        assert set(due) <= {0, len(specs)}
+
+    def test_interval_validated(self, artifact):
+        with pytest.raises(ValueError, match="housekeeping_interval"):
+            FleetControlPlane(artifact, seed=SEED,
+                              housekeeping_interval=0)
+
+
+class TestShardedFleet:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_inline_digests_match_the_unsharded_fleet(
+            self, artifact, specs, reference, shards):
+        report = run_sharded(artifact, specs, shards=shards)
+        assert report.fingerprint() == reference
+        assert report.served_slices == len(specs) * WINDOWS * SLICES
+
+    def test_process_mode_matches_inline(self, artifact, specs,
+                                         reference):
+        report = run_sharded(artifact, specs, shards=2, mode="process")
+        assert report.fingerprint() == reference
+        pids = {r.pid for r in report.shard_reports}
+        assert os.getpid() not in pids and len(pids) == 2
+
+    def test_provision_fault_stays_shard_invariant(self, artifact,
+                                                   specs, reference):
+        plan = FaultPlan.parse(
+            '{"seed": 9, "faults": '
+            '[{"point": "fleet.provision", "mode": "raise",'
+            ' "times": 1}]}')
+        for shards in (1, 3):
+            report = run_sharded(artifact, specs, shards=shards,
+                                 fault_plan=plan)
+            assert report.fingerprint() == reference
+
+    def test_killed_shard_recovers_digest_identical(self, artifact,
+                                                    specs, reference):
+        victim = CHAOS_SEED % 2
+        fleet = ShardedFleet(artifact, shards=2, seed=SEED,
+                             fault_plan=kill_plan(victim))
+        report = fleet.run(specs, windows=WINDOWS,
+                           slices_per_window=SLICES, mode="process")
+        assert report.fingerprint() == reference
+        assert [c["crashed_shards"] for c in report.crashes] \
+            == [[victim]]
+        lost = set(report.crashes[0]["lost_tenants"])
+        assert lost == {t for t, s in
+                        ((t, fleet.router.assign(t))
+                         for t in (s.tenant_id for s in specs))
+                        if s == victim}
+        status = fleet.status(report)
+        assert status["health"]["healthy"]
+        assert status["sharding"]["crashes"] == report.crashes
+
+    def test_every_shard_killed_recovers_inline(self, artifact, specs,
+                                                reference):
+        # Inline mode demotes kill to raise; a match-less times:1 plan
+        # crashes every shard at generation 0, then generation 1 reruns
+        # the same assignment clean.
+        report = run_sharded(artifact, specs, shards=2,
+                             fault_plan=kill_plan())
+        assert report.fingerprint() == reference
+        assert report.crashes[0]["crashed_shards"] == [0, 1]
+
+    def test_persistent_crashes_exhaust_generations(self, artifact,
+                                                    specs):
+        fleet = ShardedFleet(artifact, shards=2, seed=SEED,
+                             fault_plan=kill_plan(times=0),
+                             max_generations=2)
+        with pytest.raises(ShardCrashed, match="recovery generation"):
+            fleet.run(specs, windows=WINDOWS, slices_per_window=SLICES,
+                      mode="inline")
+
+    def test_overflow_queue_serves_everyone(self, artifact, specs,
+                                            reference):
+        report = run_sharded(artifact, specs, shards=2,
+                             max_tenants_per_shard=2,
+                             overflow_policy="queue")
+        assert report.fingerprint() == reference
+        assert report.queued_tenants and not report.dropped_tenants
+
+    def test_overflow_drop_is_loud_and_unhealthy(self, artifact,
+                                                 specs):
+        fleet = ShardedFleet(artifact, shards=2, seed=SEED,
+                             max_tenants_per_shard=2,
+                             overflow_policy="drop")
+        report = fleet.run(specs, windows=WINDOWS,
+                           slices_per_window=SLICES, mode="inline")
+        assert report.dropped_tenants
+        assert len(report.tenants) + len(report.dropped_tenants) \
+            == len(specs)
+        status = fleet.status(report)
+        assert not status["health"]["healthy"]
+        assert any("dropped" in r for r in status["health"]["reasons"])
+
+    def test_observe_merges_shard_slo_windows(self, artifact, specs,
+                                              reference):
+        report = run_sharded(artifact, specs, shards=2, observe=True)
+        assert report.fingerprint() == reference
+        serve = report.slo["fleet.serve_window"]
+        assert serve["count"] == len(specs) * WINDOWS
+
+    def test_rejects_bad_config(self, artifact, specs):
+        with pytest.raises(ValueError, match="overflow_policy"):
+            ShardedFleet(artifact, overflow_policy="explode")
+        with pytest.raises(ValueError, match="max_tenants_per_shard"):
+            ShardedFleet(artifact, max_tenants_per_shard=0)
+        with pytest.raises(ValueError, match="mode"):
+            ShardedFleet(artifact).run(specs, mode="thread")
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardedFleet(artifact).run(list(specs) + [specs[0]])
+
+    def test_shard_report_is_picklable(self, artifact, specs):
+        import pickle
+        shard = FleetShard(shard_id=0, artifact=artifact, seed=SEED,
+                           specs=list(specs)[:2], windows=1,
+                           slices_per_window=16, shared_plans=False)
+        report = shard.run()
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone.replay.read_digests == report.replay.read_digests
+
+
+class TestMergeValues:
+    def test_exact_quantiles_over_the_union(self):
+        merged = merge_values([
+            {"op": [1.0, 2.0, 3.0]},
+            {"op": [4.0], "other": [9.0]},
+        ])
+        assert merged["op"]["count"] == 4
+        assert merged["op"]["p50"] == 2.0
+        assert merged["op"]["max"] == 4.0
+        assert merged["other"]["count"] == 1
+
+    def test_capacity_caps_the_pooled_window(self):
+        merged = merge_values([{"op": [1.0, 2.0, 3.0, 4.0]}], capacity=2)
+        assert merged["op"]["window"] == 2
+        assert merged["op"]["count"] == 4
+
+
+class TestShardedCli:
+    def test_serve_with_shards_writes_mergeable_status(self, tmp_path,
+                                                       capsys):
+        code = main(["fleet", "serve", "--seed", str(SEED),
+                     "--tenants", "4", "--windows", "2",
+                     "--slices", "50", "--shards", "2",
+                     "--shard-mode", "inline",
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharding: 2 shard(s), inline mode" in out
+        status = read_json(tmp_path / "fleet-status.json")
+        assert status["sharding"]["shards"] == 2
+        assert len(status["replay"]["read_digests"]) == 4
+        assert main(["fleet", "status", "--state-dir",
+                     str(tmp_path)]) == 0
+
+    def test_shards_conflicts_with_attackers(self):
+        with pytest.raises(SystemExit, match="--attackers"):
+            main(["fleet", "serve", "--tenants", "2", "--windows", "1",
+                  "--slices", "20", "--shards", "2",
+                  "--attackers", "t00=burst-poll"])
+
+    def test_replay_with_shards_is_bit_identical(self, tmp_path,
+                                                 capsys):
+        code = main(["fleet", "replay", "--seed", str(SEED),
+                     "--tenants", "4", "--windows", "2",
+                     "--slices", "50", "--shards", "2",
+                     "--shard-mode", "inline",
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
