@@ -1,0 +1,176 @@
+"""Adaptive defense plane gate: latency, leakage, and invariance.
+
+Four properties of the detection-driven defense plane are measured
+and gated:
+
+- **escalation latency** — a single-stepping attacker's first critical
+  alert must move its tenant up the ladder on the very next control
+  tick (the alert lands while window w serves; the policy engine runs
+  at tick w+1);
+- **MI reduction** — an ESCALATED tenant serves at ε·0.2 under the d*
+  plan, so the mutual information between its clean and noised reads
+  must drop well below the static Laplace policy's;
+- **bit-identity** — the full attacked fleet (detectors + policy +
+  reallocation + d* plans) replays to identical per-tenant digests at
+  1/2/4 shards, with and without a retry-absorbed ``fleet.policy``
+  fault;
+- **ε ≤ cap** — the ledger snapshot proves every tenant's composed
+  basic ε stays under its registered cap *and* under the static
+  spend ``base ε × releases`` (reallocation is downward-only).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SMOKE, emit, emit_metrics, once
+from repro.analysis import trace_mutual_information
+from repro.fleet import (
+    FleetControlPlane,
+    ShardedFleet,
+    TenantSpec,
+    default_artifact,
+    default_specs,
+)
+from repro.fleet.loadgen import AttackerProfile
+from repro.observability.detectors import Alert
+from repro.resilience.faults import FaultPlan
+
+SEED = 7
+TENANTS = 4
+WINDOWS = 3
+SLICES = 200 if SMOKE else 400
+EPSILON_CAP = 1e6
+SHARD_COUNTS = (1, 2, 4)
+MAX_ESCALATION_TICKS = 2
+
+MI_RUNS = 12 if SMOKE else 24
+MI_SLICES = 120 if SMOKE else 240
+
+ATTACKED = {"t03": AttackerProfile(kind="single-step")}
+POLICY_FAULT = FaultPlan.parse(
+    '{"seed": 9, "faults": '
+    '[{"point": "fleet.policy", "mode": "raise", "times": 1}]}')
+
+
+def _run_sharded(artifact, specs, shards, fault_plan=None):
+    fleet = ShardedFleet(artifact, shards=shards, seed=SEED,
+                         capacity=SLICES, watermark=0,
+                         fault_plan=fault_plan,
+                         defense_policy="aggressive")
+    report = fleet.run(specs, windows=WINDOWS,
+                       slices_per_window=SLICES, mode="inline",
+                       attackers=ATTACKED)
+    return report, fleet.status(report)
+
+
+def _tenant_mi(artifact, escalate):
+    """MI between one tenant's clean and noised reads, optionally
+    after escalating it through the real policy engine (ε·0.2, d*)."""
+    plane = FleetControlPlane(artifact, seed=SEED, capacity=MI_SLICES,
+                              watermark=0,
+                              defense_policy="aggressive"
+                              if escalate else None)
+    plane.admit_tenant(TenantSpec(tenant_id="t0"))
+    if escalate:
+        plane.policy.on_tick(1, alerts=[Alert(
+            seq=0, tenant_id="t0", detector="bench",
+            severity="critical", score=1.0, detail="", at=0.0)])
+        assert plane.policy.state_of("t0") == "ESCALATED"
+    num_events = len(plane.monitored_events)
+    rng = np.random.default_rng(SEED)
+    clean_rows, noised_rows = [], []
+    for _ in range(MI_RUNS):
+        matrix = rng.normal(2000.0, 400.0, size=(MI_SLICES, num_events))
+        decision, noised = plane.serve_window("t0", matrix)
+        assert decision
+        clean_rows.append(matrix[:, 0].copy())
+        noised_rows.append(noised[:, 0].copy())
+    return trace_mutual_information(np.stack(clean_rows),
+                                    np.stack(noised_rows))
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_adaptive_defense(benchmark):
+    artifact = default_artifact()
+    specs = default_specs(TENANTS, epsilon_cap=EPSILON_CAP)
+
+    reports = {}
+    for shards in SHARD_COUNTS[:-1]:
+        reports[shards] = _run_sharded(artifact, specs, shards)
+    reports[SHARD_COUNTS[-1]] = once(
+        benchmark, lambda: _run_sharded(artifact, specs,
+                                        SHARD_COUNTS[-1]))
+    faulted = {shards: _run_sharded(artifact, specs, shards,
+                                    fault_plan=POLICY_FAULT)
+               for shards in (1, SHARD_COUNTS[-1])}
+
+    reference_report, reference_status = reports[1]
+    reference = reference_report.fingerprint()
+    clean_legs = {f"{n} shard(s)": r.fingerprint() == reference
+                  for n, (r, _) in reports.items()}
+    bit_identical = all(clean_legs.values())
+    assert bit_identical, \
+        f"defended replay diverged across shard counts: {clean_legs}"
+    fault_legs = {f"{n} shard(s) + policy fault":
+                  r.fingerprint() == reference
+                  for n, (r, _) in faulted.items()}
+    fault_identical = all(fault_legs.values())
+    assert fault_identical, \
+        f"an absorbed fleet.policy fault changed the replay: {fault_legs}"
+
+    defense = reference_status["defense"]
+    for _, status in list(reports.values()) + list(faulted.values()):
+        assert status["defense"]["states"] == defense["states"]
+        assert status["defense"]["policy_faults"] == 0 \
+            or status is not reference_status
+    attacked = defense["tenants"]["t03"]
+    assert attacked["state"] == "QUARANTINED", attacked
+    assert not attacked["fault_forced"]
+    escalation_latency = attacked["transitions"][0]["tick"]
+    assert escalation_latency <= MAX_ESCALATION_TICKS, attacked
+
+    budgets = reference_status["budgets"]
+    within_cap = all(
+        budget["epsilon_basic"] <= budget["epsilon_cap"] + 1e-9
+        and budget["epsilon_basic"]
+        <= budget["base_epsilon"] * budget["releases"] + 1e-9
+        for budget in budgets.values())
+    assert within_cap, budgets
+    assert budgets["t03"]["reallocations"] >= 1
+    assert budgets["t03"]["stalled_slices"] > 0
+
+    static_mi = _tenant_mi(artifact, escalate=False)
+    escalated_mi = _tenant_mi(artifact, escalate=True)
+    mi_reduction = 1.0 - escalated_mi / static_mi if static_mi else 0.0
+
+    lines = [
+        f"{TENANTS} tenants x {WINDOWS} windows x {SLICES} slices, "
+        f"aggressive profile, t03 single-stepping, seed {SEED}",
+        f"defense states: " + "  ".join(
+            f"{state}={count}"
+            for state, count in defense["states"].items()),
+        f"t03 first escalation at tick {escalation_latency} "
+        f"(budget {MAX_ESCALATION_TICKS})",
+        f"t03 ε: {budgets['t03']['per_slice_epsilon']:g}/slice "
+        f"(base {budgets['t03']['base_epsilon']:g}, "
+        f"{budgets['t03']['reallocations']} reallocation(s)), "
+        f"composed {budgets['t03']['epsilon_basic']:g} "
+        f"<= cap {budgets['t03']['epsilon_cap']:g}",
+        f"digests identical across "
+        f"{'/'.join(map(str, SHARD_COUNTS))} shards: "
+        f"{'yes' if bit_identical else 'NO'}",
+        f"digests identical with an absorbed fleet.policy fault: "
+        f"{'yes' if fault_identical else 'NO'}",
+        f"MI static laplace: {static_mi:.4f} bits/slice, "
+        f"escalated (ε·0.2, d*): {escalated_mi:.4f} "
+        f"-> reduction {mi_reduction:.1%} "
+        f"({MI_RUNS} runs x {MI_SLICES} slices)",
+    ]
+    emit("adaptive_defense", "\n".join(lines))
+    emit_metrics("adaptive_defense", {
+        "escalation_latency_ticks": float(escalation_latency),
+        "mi_reduction": mi_reduction,
+        "bit_identical_across_shards": float(bit_identical),
+        "bit_identical_with_policy_faults": float(fault_identical),
+        "epsilon_within_cap": float(within_cap),
+    })

@@ -128,23 +128,25 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite baseline values from this run "
                              "instead of gating")
-    parser.add_argument("--only", action="append", metavar="BENCH",
+    parser.add_argument("--only", action="append", metavar="BENCH[,BENCH]",
                         help="gate only these baseline benches "
-                             "(repeatable); default: every entry — a "
-                             "selected bench that did not run still "
-                             "fails, so jobs scoped to one bench stay "
-                             "strict about it")
+                             "(repeatable and/or comma-separated); "
+                             "default: every entry — a selected bench "
+                             "that did not run still fails, so jobs "
+                             "scoped to one bench stay strict about it")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     if args.only:
-        unknown = sorted(set(args.only) - set(baseline))
+        selected = [bench for item in args.only
+                    for bench in item.split(",") if bench]
+        unknown = sorted(set(selected) - set(baseline))
         if unknown:
             print(f"regression gate: unknown bench(es) in --only: "
                   f"{', '.join(unknown)}; known benches: "
                   f"{', '.join(sorted(baseline))}", file=sys.stderr)
             return 2
-        baseline = {bench: baseline[bench] for bench in sorted(args.only)}
+        baseline = {bench: baseline[bench] for bench in sorted(selected)}
     current = load_current(args.results_dir)
     if not current:
         print(f"regression gate: no *.metrics.json under "

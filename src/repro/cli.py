@@ -506,6 +506,29 @@ def _fleet_fault_plan(args: argparse.Namespace):
         raise SystemExit(str(exc)) from exc
 
 
+def _fleet_defense_profile(args: argparse.Namespace):
+    """Resolve ``--defense-policy`` / ``--escalation-profile``.
+
+    ``--escalation-profile`` (inline JSON or a JSON file) wins over a
+    named ``--defense-policy``; ``None`` means the static policy.
+    """
+    profile_json = getattr(args, "escalation_profile", "")
+    if profile_json:
+        from repro.fleet import EscalationProfile
+        try:
+            return EscalationProfile.parse(profile_json)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    name = getattr(args, "defense_policy", "")
+    if name:
+        from repro.fleet import resolve_profile
+        try:
+            return resolve_profile(name)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    return None
+
+
 def _fleet_specs(args: argparse.Namespace):
     import math
 
@@ -517,14 +540,19 @@ def _fleet_specs(args: argparse.Namespace):
 
 def _fleet_run(args: argparse.Namespace):
     """Build a fresh control plane and replay one load-generation run."""
+    from contextlib import nullcontext
+
     from repro.fleet import FleetControlPlane, LoadGenerator
     from repro.fleet import runtime as fleet_runtime
+    from repro.observability import runtime as observability
     from repro.resilience import runtime as resilience
     artifact = _fleet_artifact(args)
     fault_plan = _fleet_fault_plan(args)
-    plane = FleetControlPlane(artifact, seed=args.seed)
-    specs = _fleet_specs(args)
+    policy = _fleet_defense_profile(args)
     try:
+        plane = FleetControlPlane(artifact, seed=args.seed,
+                                  defense_policy=policy)
+        specs = _fleet_specs(args)
         generator = LoadGenerator(
             plane, specs, windows=args.windows,
             slices_per_window=args.slices,
@@ -532,17 +560,21 @@ def _fleet_run(args: argparse.Namespace):
             attackers=_parse_attackers(getattr(args, "attackers", "")))
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    with fleet_runtime.session(plane), resilience.session(fault_plan):
-        report = generator.run()
-    return plane.status(), report
+    # The defense plane decides on detector alerts, so an armed policy
+    # needs an observability plane even without --obs.
+    obs_scope = observability.session() \
+        if policy is not None and not observability.enabled() \
+        else nullcontext()
+    with obs_scope:
+        with fleet_runtime.session(plane), resilience.session(fault_plan):
+            report = generator.run()
+        status = plane.status()
+    return status, report
 
 
 def _fleet_run_sharded(args: argparse.Namespace):
     """Replay one load across ``--shards`` worker processes."""
     from repro.fleet import ShardCrashed, ShardedFleet
-    if getattr(args, "attackers", ""):
-        raise SystemExit("--attackers needs the single-process fleet; "
-                         "omit --shards")
     if getattr(args, "obs_dir", ""):
         raise SystemExit("--obs-dir needs the single-process fleet; "
                          "omit --shards (plain --obs merges per-shard "
@@ -552,13 +584,16 @@ def _fleet_run_sharded(args: argparse.Namespace):
         artifact, shards=args.shards, seed=args.seed,
         fault_plan=_fleet_fault_plan(args),
         max_tenants_per_shard=args.max_tenants_per_shard or None,
-        overflow_policy=args.overflow_policy)
+        overflow_policy=args.overflow_policy,
+        defense_policy=_fleet_defense_profile(args))
     try:
         report = fleet.run(
             _fleet_specs(args), windows=args.windows,
             slices_per_window=args.slices, mode=args.shard_mode,
             concurrency=args.concurrency or None,
-            observe=bool(getattr(args, "obs", False)))
+            observe=bool(getattr(args, "obs", False)),
+            attackers=_parse_attackers(
+                getattr(args, "attackers", "")) or None)
     except (ValueError, ShardCrashed) as exc:
         raise SystemExit(str(exc)) from exc
     return fleet.status(report), report
@@ -640,6 +675,33 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_status_with_retry(path, retries: int = 5,
+                            backoff_base: float = 0.02) -> dict:
+    """Read fleet-status.json, riding out the atomic-rename gap.
+
+    ``fleet serve`` writes the status file with tmp+rename and sweeps
+    stale tmp files; a watcher polling at exactly the wrong moment can
+    see the path momentarily absent (or half-swept on filesystems
+    without atomic rename visibility). Retry with bounded, seeded
+    backoff — deterministic jitter from the attempt number, like the
+    shard supervisor's — instead of crashing the dashboard.
+    """
+    import json
+    import time
+
+    from repro.resilience.faults import _hash01
+    for attempt in range(retries + 1):
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            if attempt == retries:
+                raise
+            backoff = min(0.25, backoff_base * 2 ** attempt)
+            time.sleep(backoff * (1.0 + 0.5 * _hash01(
+                0, "status-watch", attempt)))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _health_exit(status: dict) -> int:
     """Exit code from the status health block: say why when degraded."""
     health = status.get("health")
@@ -670,7 +732,7 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
         for frame in range(args.frames):
             if frame:
                 time.sleep(args.interval)
-            status = json.loads(path.read_text(encoding="utf-8"))
+            status = _read_status_with_retry(path)
             _say(render_status_frame(status, frame=frame).rstrip())
         return _health_exit(status)
     status = json.loads(path.read_text(encoding="utf-8"))
@@ -698,6 +760,21 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
         for alert in alerts[:5]:
             _say(f"  [{alert['severity']}] #{alert['seq']} "
                  f"{alert['detector']} tenant={alert['tenant_id']}")
+    defense = status.get("defense")
+    if defense is not None:
+        states = defense["states"]
+        _say(f"defense: profile {defense['profile']['name']}, "
+             + ", ".join(f"{state}={count}"
+                         for state, count in states.items())
+             + f", {defense['policy_faults']} policy fault(s)")
+        for tenant_id, row in sorted(defense["tenants"].items()):
+            if row["state"] == "NORMAL" and not row["transitions"]:
+                continue
+            _say(f"  {tenant_id}: {row['state']}"
+                 + (" [fault-forced]" if row["fault_forced"] else "")
+                 + f", {row['alerts_seen']} alert(s), "
+                 f"{len(row['transitions'])} transition(s), "
+                 f"{row['quarantined_windows']} window(s) quarantined")
     sharding = status.get("sharding")
     if sharding is not None:
         _say(f"sharding: {sharding['shards']} shard(s), "
@@ -890,7 +967,7 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--fault-plan", default="", metavar="JSON",
                         help="arm deterministic fault injection "
                              "(fleet.provision / fleet.admit / "
-                             "fleet.shard chaos)")
+                             "fleet.policy / fleet.shard chaos)")
         fp.add_argument("--state-dir", default="",
                         help="directory for fleet-status.json")
         fp.add_argument("--attackers", default="", metavar="SPEC",
@@ -898,7 +975,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "separated tenant=kind pairs, kinds "
                              "single-step (SEV-Step cadence) and "
                              "burst-poll (register-rotating burst); "
-                             "needs --obs to be detected")
+                             "needs --obs or --defense-policy to be "
+                             "detected (works with --shards: the "
+                             "alert stream is per-tenant "
+                             "deterministic at any shard count)")
+        fp.add_argument("--defense-policy", default="",
+                        choices=("", "balanced", "aggressive",
+                                 "conservative"),
+                        help="arm the adaptive defense plane with a "
+                             "named escalation profile: detector "
+                             "alerts drive per-tenant eps "
+                             "reallocation, Laplace->d* plan "
+                             "escalation, and fail-closed quarantine")
+        fp.add_argument("--escalation-profile", default="",
+                        metavar="JSON",
+                        help="custom escalation profile (inline JSON "
+                             "or a JSON file); overrides "
+                             "--defense-policy")
         _add_telemetry_options(fp)
         _add_obs_options(fp)
 

@@ -15,6 +15,12 @@ across sacrificial worker processes (zero-copy shared-memory noise
 plans, crash-and-replay recovery) while keeping every per-tenant
 stream derived from the fleet root seed — so replay digests are
 bit-identical at any shard count.
+
+The adaptive defense plane (:mod:`repro.fleet.policy`) closes the
+detection loop: detector alerts drive a deterministic per-tenant
+escalation ladder — ε reallocation, Laplace→d* plan escalation,
+fail-closed quarantine — that replays bit-identically at any shard
+count.
 """
 
 from repro.fleet.admission import AdmissionController, AdmissionDecision
@@ -23,7 +29,11 @@ from repro.fleet.controlplane import (
     TenantRuntime,
     TenantSpec,
 )
-from repro.fleet.ledger import FleetLedger, UnknownTenant
+from repro.fleet.ledger import (
+    FleetLedger,
+    ReallocatableAccountant,
+    UnknownTenant,
+)
 from repro.fleet.loadgen import (
     ATTACKER_KINDS,
     WORKLOAD_FACTORIES,
@@ -34,9 +44,17 @@ from repro.fleet.loadgen import (
     make_workload,
     record_trace,
 )
+from repro.fleet.policy import (
+    DEFENSE_STATES,
+    ESCALATION_PROFILES,
+    DefensePolicyEngine,
+    EscalationProfile,
+    resolve_profile,
+)
 from repro.fleet.provisioner import (
     DEFAULT_CAPACITY,
     DEFAULT_WATERMARK,
+    PLAN_MODES,
     NoiseProvisioner,
     SharedPlanSegment,
     TenantNoiseBuffer,
@@ -70,12 +88,18 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_REPLICAS",
     "DEFAULT_WATERMARK",
+    "DEFENSE_STATES",
+    "DefensePolicyEngine",
+    "ESCALATION_PROFILES",
+    "EscalationProfile",
     "FleetControlPlane",
     "FleetLedger",
     "FleetRouter",
     "FleetShard",
     "LoadGenerator",
     "NoiseProvisioner",
+    "PLAN_MODES",
+    "ReallocatableAccountant",
     "RegistryEntry",
     "RegistryIntegrityError",
     "ReplayReport",
@@ -96,6 +120,7 @@ __all__ = [
     "make_workload",
     "read_json",
     "record_trace",
+    "resolve_profile",
     "sweep_stale_tmp",
     "write_json_atomic",
 ]

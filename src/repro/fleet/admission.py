@@ -16,6 +16,11 @@ every path:
 - **Faults**: the ``fleet.admit`` point models a wedged admission
   service itself; an injected fault rejects the window (retryable)
   rather than letting it bypass the checks.
+- **Quarantine**: with a defense policy armed
+  (:class:`~repro.fleet.policy.DefensePolicyEngine`), a tenant the
+  policy holds in QUARANTINED is denied outright (``quarantined``,
+  retryable once it de-escalates); the withheld window is counted
+  under ``privacy.stalled_slices`` and spends nothing.
 
 A rejected window consumes *no* noise draws and *no* budget, so
 rejection is invisible to every other tenant's sequence — the property
@@ -52,9 +57,11 @@ class AdmissionController:
     """Gates windows on per-tenant ε-quota and noise availability."""
 
     def __init__(self, ledger: FleetLedger,
-                 provisioner: NoiseProvisioner) -> None:
+                 provisioner: NoiseProvisioner,
+                 policy=None) -> None:
         self.ledger = ledger
         self.provisioner = provisioner
+        self.policy = policy
         self.admitted_windows = 0
         self.rejected_windows = 0
 
@@ -71,6 +78,12 @@ class AdmissionController:
         except InjectedFault:
             return self._reject(tenant_id, slices, "admission-fault",
                                 retryable=True)
+        if self.policy is not None:
+            denial = self.policy.deny_reason(tenant_id)
+            if denial is not None:
+                self.ledger.record_stall(tenant_id, slices)
+                return self._reject(tenant_id, slices, denial,
+                                    retryable=True)
         if accountant.would_exceed(slices):
             return self._reject(tenant_id, slices, "budget-exhausted",
                                 retryable=False)

@@ -54,6 +54,7 @@ from repro.fleet.provisioner import (
     DEFAULT_WATERMARK,
     NoiseProvisioner,
 )
+from repro.fleet.policy import DefensePolicyEngine
 from repro.fleet.registry import check_compatible
 from repro.observability import runtime as observability
 from repro.resilience.watchdog import DaemonWatchdog
@@ -122,6 +123,20 @@ class FleetControlPlane:
         segments (see :class:`~repro.fleet.provisioner
         .SharedPlanSegment`); shard workers enable this so the
         provisioner→serving handoff is zero-copy and parent-mappable.
+    defense_policy:
+        Arm the adaptive defense plane: an
+        :class:`~repro.fleet.policy.EscalationProfile` (or a
+        registered profile name). ``None`` — the default — leaves the
+        fleet on the static policy, byte-identical to earlier
+        releases. With a policy armed, detector alerts drive per-tenant
+        ε reallocation, Laplace→d* plan escalation, and fail-closed
+        quarantine (see :mod:`repro.fleet.policy`).
+    fault_generation:
+        A replacement shard worker's recovery generation; biases the
+        implicit attempt counts of the plane's fault points
+        (provisioning, policy decisions) past budgets an earlier
+        generation consumed, so ``times``-bounded chaos faults do not
+        re-fire on every replacement.
     """
 
     def __init__(self, artifact: DeploymentArtifact, seed: int = 0,
@@ -132,7 +147,9 @@ class FleetControlPlane:
                  stale_polls: int = 2,
                  hypervisor: "Hypervisor | None" = None,
                  housekeeping_interval: int = 1,
-                 shared_plans: bool = False) -> None:
+                 shared_plans: bool = False,
+                 defense_policy=None,
+                 fault_generation: int = 0) -> None:
         if artifact.mechanism != "laplace":
             raise ValueError(
                 "the fleet control plane precomputes value-independent "
@@ -164,12 +181,21 @@ class FleetControlPlane:
             clip_bound=artifact.clip_bound,
             capacity=capacity, watermark=watermark,
             refill_retries=refill_retries,
-            shared_plans=shared_plans)
+            shared_plans=shared_plans,
+            fault_attempt_bias=fault_generation)
         # The serving projection: per-repetition monitored-event counts
         # of each gadget component, (K, E).
         self._comp_event = self.provisioner.components @ self._event_weights
         self.ledger = FleetLedger()
-        self.admission = AdmissionController(self.ledger, self.provisioner)
+        self.policy = None
+        if defense_policy is not None:
+            self.policy = DefensePolicyEngine(
+                defense_policy, ledger=self.ledger,
+                provisioner=self.provisioner, seed=self.seed,
+                base_epsilon=artifact.epsilon,
+                fault_attempt_bias=fault_generation)
+        self.admission = AdmissionController(self.ledger, self.provisioner,
+                                             policy=self.policy)
         self.hypervisor = hypervisor if hypervisor is not None \
             else Hypervisor(processor_model=artifact.processor_model,
                             rng=derive_stream(self.seed, "hypervisor"))
@@ -231,6 +257,8 @@ class FleetControlPlane:
             watchdog=DaemonWatchdog(daemon, stale_polls=self.stale_polls))
         self.tenants[spec.tenant_id] = runtime
         self._guest_tenant[guest.name] = spec.tenant_id
+        if self.policy is not None:
+            self.policy.register_tenant(spec.tenant_id)
         heapq.heappush(self._due, (self.ticks + 1, spec.tenant_id))
         registry = telemetry.metrics()
         if registry.enabled:
@@ -371,6 +399,11 @@ class FleetControlPlane:
                 heapq.heappush(
                     self._due,
                     (self.ticks + self.housekeeping_interval, tenant_id))
+            # The defense plane decides after the tick's reads landed:
+            # alerts raised up to and including this tick are consumed
+            # in one deterministic batch, per tenant in sorted order.
+            if self.policy is not None:
+                self.policy.on_tick(self.ticks)
         registry = telemetry.metrics()
         if registry.enabled:
             registry.counter("fleet.ticks").inc()
@@ -411,6 +444,11 @@ class FleetControlPlane:
                 reasons.append(
                     f"tenant {tenant_id}: daemon heartbeat stalled, "
                     f"watchdog restarted it {restarts} time(s)")
+        # Alert-driven escalation is the defense plane *working*; only
+        # a faulted decision path (fail-closed quarantine forced by the
+        # engine itself crashing) degrades health.
+        if self.policy is not None:
+            reasons.extend(self.policy.health_reasons())
         return {"healthy": not reasons, "reasons": reasons}
 
     def status(self) -> dict:
@@ -446,6 +484,8 @@ class FleetControlPlane:
             "budgets": self.ledger.snapshot(),
             "health": self.health(),
         }
+        if self.policy is not None:
+            payload["defense"] = self.policy.snapshot()
         obs = observability.active()
         if obs.enabled:
             payload["observability"] = obs.snapshot()

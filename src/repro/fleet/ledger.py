@@ -14,18 +14,116 @@ but spends nothing.
 Tenant isolation is structural — there is no cross-tenant state here
 beyond the dict itself, so exhausting tenant A cannot perturb a single
 record of tenant B.
+
+The adaptive defense plane (:mod:`repro.fleet.policy`) reallocates a
+suspect tenant's per-slice ε *downward* mid-run. The ledger's
+accountants are therefore :class:`ReallocatableAccountant` — a
+multi-rate extension of the paper's accountant that composes each
+constant-ε segment exactly (basic composed ε = Σᵢ εᵢ·nᵢ) so the cap
+check stays valid across rate changes: reallocation is restricted to
+ε ≤ base ε, every segment spends no faster than the registered rate,
+hence composed ε under any escalation schedule is bounded by the same
+cap the static policy registered.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.obfuscator.budget import PrivacyAccountant
+from repro.core.obfuscator.budget import (
+    PrivacyAccountant,
+    advanced_composition,
+)
 from repro.telemetry import runtime as telemetry
 
 
 class UnknownTenant(KeyError):
     """An operation referenced a tenant id never registered."""
+
+
+class ReallocatableAccountant(PrivacyAccountant):
+    """A :class:`PrivacyAccountant` whose per-slice ε may be lowered.
+
+    Until the first :meth:`reallocate` every query defers to the base
+    class — bit-for-bit, so a fleet that never escalates snapshots
+    (and digests) exactly as before. After a reallocation the
+    accountant becomes multi-rate: closed segments' spend is frozen
+    into ``_closed_epsilon`` and the live segment composes at the
+    current rate, giving exact basic composition Σᵢ εᵢ·nᵢ. The
+    advanced bound falls back to composing every release at
+    ``base_epsilon`` (the maximum any segment ever used — reallocation
+    is downward-only), which keeps it a valid, if conservative, bound.
+
+    Checkpoints (:meth:`to_dict`) capture the *current* rate and total
+    releases; segment history is run-local, like the defense state
+    itself.
+    """
+
+    def __init__(self, per_slice_epsilon: float, delta: float = 1e-6,
+                 epsilon_cap: float = math.inf) -> None:
+        super().__init__(per_slice_epsilon=per_slice_epsilon,
+                         delta=delta, epsilon_cap=epsilon_cap)
+        self.base_epsilon = float(per_slice_epsilon)
+        self.reallocations = 0
+        self._closed_epsilon = 0.0
+        self._segment_start = 0
+
+    def reallocate(self, per_slice_epsilon: float) -> bool:
+        """Switch the live release rate; returns whether it changed.
+
+        Only rates in ``(0, base_epsilon]`` are accepted: the defense
+        plane tightens guarantees (or restores the registered rate),
+        it can never loosen past what admission promised.
+        """
+        new_eps = float(per_slice_epsilon)
+        if not 0.0 < new_eps <= self.base_epsilon:
+            raise ValueError(
+                f"reallocated eps must be in (0, {self.base_epsilon:g}] "
+                f"(downward-only), got {new_eps:g}")
+        if new_eps == self.per_slice_epsilon:
+            return False
+        self._closed_epsilon += self.per_slice_epsilon * (
+            self.releases - self._segment_start)
+        self._segment_start = self.releases
+        self.per_slice_epsilon = new_eps
+        self.reallocations += 1
+        return True
+
+    @property
+    def basic_epsilon(self) -> float:
+        if self.reallocations == 0:
+            return super().basic_epsilon
+        return self._closed_epsilon + self.per_slice_epsilon * (
+            self.releases - self._segment_start)
+
+    @property
+    def advanced_epsilon(self) -> float:
+        if self.reallocations == 0:
+            return super().advanced_epsilon
+        if self.releases == 0:
+            return 0.0
+        return advanced_composition(self.base_epsilon, self.releases,
+                                    self.delta)
+
+    def would_exceed(self, slices: int = 1) -> bool:
+        if self.reallocations == 0:
+            return super().would_exceed(slices)
+        if slices < 1:
+            raise ValueError(f"slices must be >= 1, got {slices}")
+        if math.isinf(self.epsilon_cap):
+            return False
+        projected = self.basic_epsilon + self.per_slice_epsilon * slices
+        return projected > self.epsilon_cap
+
+    @property
+    def remaining_slices(self) -> "int | None":
+        if self.reallocations == 0:
+            return super().remaining_slices
+        if math.isinf(self.epsilon_cap):
+            return None
+        left = self.epsilon_cap - self.basic_epsilon
+        return max(0, int(math.floor(left / self.per_slice_epsilon
+                                     + 1e-9)))
 
 
 class FleetLedger:
@@ -57,16 +155,23 @@ class FleetLedger:
         if tenant_id in self._accountants:
             raise ValueError(f"tenant {tenant_id!r} already registered")
         if state is not None:
-            accountant = PrivacyAccountant.from_dict(state)
-            if accountant.per_slice_epsilon != per_slice_epsilon:
+            restored = PrivacyAccountant.from_dict(state)
+            if restored.per_slice_epsilon != per_slice_epsilon:
                 raise ValueError(
                     f"restored accountant for {tenant_id!r} was calibrated "
-                    f"for eps={accountant.per_slice_epsilon:g} per slice, "
+                    f"for eps={restored.per_slice_epsilon:g} per slice, "
                     f"but the fleet releases at eps={per_slice_epsilon:g}")
-            if not math.isinf(epsilon_cap):
-                accountant.epsilon_cap = float(epsilon_cap)
+            accountant = ReallocatableAccountant(
+                per_slice_epsilon=restored.per_slice_epsilon,
+                delta=restored.delta,
+                epsilon_cap=(float(epsilon_cap)
+                             if not math.isinf(epsilon_cap)
+                             else restored.epsilon_cap))
+            # The restored slices were already accounted (and ledgered)
+            # by the run that checkpointed them.
+            accountant.releases = restored.releases
         else:
-            accountant = PrivacyAccountant(
+            accountant = ReallocatableAccountant(
                 per_slice_epsilon=per_slice_epsilon, delta=delta,
                 epsilon_cap=epsilon_cap)
         self._accountants[tenant_id] = accountant
@@ -91,6 +196,20 @@ class FleetLedger:
         accountant.record(slices)
         telemetry.ledger().sync_tenant(tenant_id, accountant)
 
+    def reallocate(self, tenant_id: str,
+                   per_slice_epsilon: float) -> bool:
+        """Retarget one tenant's live release rate (downward only).
+
+        The defense plane's ε action. Returns whether the rate
+        actually changed; a change re-syncs the tenant's telemetry
+        gauges so dashboards see the tightened guarantee immediately.
+        """
+        accountant = self.accountant(tenant_id)
+        changed = accountant.reallocate(per_slice_epsilon)
+        if changed:
+            telemetry.ledger().sync_tenant(tenant_id, accountant)
+        return changed
+
     def record_stall(self, tenant_id: str, slices: int) -> None:
         """A withheld window: counted, but no budget spent."""
         self.accountant(tenant_id)  # validate the id
@@ -110,6 +229,9 @@ class FleetLedger:
             out[tenant_id] = {
                 "releases": accountant.releases,
                 "per_slice_epsilon": accountant.per_slice_epsilon,
+                "base_epsilon": getattr(accountant, "base_epsilon",
+                                        accountant.per_slice_epsilon),
+                "reallocations": getattr(accountant, "reallocations", 0),
                 "epsilon_spent": accountant.tightest_epsilon,
                 "epsilon_basic": accountant.basic_epsilon,
                 "epsilon_cap": (None if math.isinf(accountant.epsilon_cap)

@@ -34,18 +34,26 @@ backpressure, never an un-noised read.
 
 from __future__ import annotations
 
+import math
 import os
 import secrets
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.core.obfuscator.dp import laplace_sample
+from repro.core.obfuscator.dp import dstar_parent, laplace_sample
 from repro.core.obfuscator.noise import NoiseExhausted
 from repro.resilience import runtime as resilience
 from repro.resilience.faults import InjectedFault
 from repro.telemetry import runtime as telemetry
 from repro.utils.rng import derive_stream
+
+#: Modes a tenant's precomputed plan can be tagged with. ``laplace``
+#: is the paper's per-slice mechanism; ``dstar`` serves the cumulative
+#: d*-tree noise ``c[t] = c[parent(t)] + r_t`` — still value-independent
+#: (the additive noise telescopes to a pure path-sum of tree draws), so
+#: the escalated plan precomputes and replays exactly like the default.
+PLAN_MODES = ("laplace", "dstar")
 
 #: Default per-tenant buffer capacity (slices). Three paper windows.
 DEFAULT_CAPACITY = 12288
@@ -172,6 +180,11 @@ class TenantNoiseBuffer:
         self.fill = 0
         self.refills = 0
         self.stalls = 0
+        self.mode = "laplace"
+        self.scale_factor = 1.0
+        self.flushed_slices = 0
+        self.dstar_t = 0
+        self._dstar_cum = {0: 0.0}
         self._noise_rng = noise_rng
         self._mix_rng = mix_rng
 
@@ -253,12 +266,17 @@ class NoiseProvisioner:
                  capacity: int = DEFAULT_CAPACITY,
                  watermark: int = DEFAULT_WATERMARK,
                  refill_retries: int = 4,
-                 shared_plans: bool = False) -> None:
+                 shared_plans: bool = False,
+                 fault_attempt_bias: int = 0) -> None:
         if scale < 0:
             raise ValueError(f"scale must be non-negative, got {scale}")
         if refill_retries < 0:
             raise ValueError(
                 f"refill_retries must be >= 0, got {refill_retries}")
+        if fault_attempt_bias < 0:
+            raise ValueError(
+                f"fault_attempt_bias must be >= 0, got "
+                f"{fault_attempt_bias}")
         components = np.asarray(components, dtype=np.float64)
         if components.ndim == 1:
             components = components[None, :]
@@ -275,6 +293,10 @@ class NoiseProvisioner:
         self.watermark = watermark
         self.refill_retries = refill_retries
         self.shared_plans = bool(shared_plans)
+        # A replacement shard worker passes its recovery generation so
+        # replayed refill attempts land past fault budgets an earlier
+        # generation already consumed (see FaultInjector.attempt_bias).
+        self.fault_attempt_bias = int(fault_attempt_bias)
         self._inv_counts = 1.0 / counts
         self.buffers: dict[str, TenantNoiseBuffer] = {}
 
@@ -322,6 +344,48 @@ class NoiseProvisioner:
             raise KeyError(f"no noise buffer for tenant "
                            f"{tenant_id!r}") from exc
 
+    # -- plan profile (defense-plane escalation) -----------------------
+
+    def set_profile(self, tenant_id: str, mode: str = "laplace",
+                    scale_factor: float = 1.0) -> int:
+        """Retag one tenant's plan ``(mode, scale factor)``; returns
+        the live slices flushed.
+
+        The defense plane's noise action. An unchanged profile is a
+        no-op. A change flushes the unconsumed precomputed tail —
+        those rows were drawn under the old profile and serving them
+        would leak the weaker guarantee — so the next refill draws
+        under the new one. ``scale_factor`` multiplies the Laplace
+        scale b = Δ/ε: a tenant reallocated to ε·f serves at factor
+        1/f ≥ 1 (escalation only ever adds noise). Entering ``dstar``
+        restarts the tenant's d* tree at t=0: each escalation episode
+        is a fresh, deterministic cumulative sequence.
+        """
+        if mode not in PLAN_MODES:
+            raise ValueError(f"mode must be one of {PLAN_MODES}, got "
+                             f"{mode!r}")
+        if scale_factor < 1.0:
+            raise ValueError(
+                f"scale_factor must be >= 1.0 (escalation only adds "
+                f"noise), got {scale_factor:g}")
+        buffer = self.buffer(tenant_id)
+        if mode == buffer.mode and scale_factor == buffer.scale_factor:
+            return 0
+        flushed = buffer.available
+        buffer.cursor = buffer.fill
+        buffer.flushed_slices += flushed
+        if mode == "dstar" and buffer.mode != "dstar":
+            buffer.dstar_t = 0
+            buffer._dstar_cum = {0: 0.0}
+        buffer.mode = mode
+        buffer.scale_factor = float(scale_factor)
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("fleet.plan_retags").inc()
+            if flushed:
+                registry.counter("fleet.flushed_slices").inc(flushed)
+        return flushed
+
     # -- refill --------------------------------------------------------
 
     def refill(self, buffer: TenantNoiseBuffer) -> int:
@@ -342,8 +406,9 @@ class NoiseProvisioner:
                                      slices=need):
             for attempt in range(self.refill_retries + 1):
                 try:
-                    resilience.check("fleet.provision", key=buffer.refills,
-                                     attempt=attempt)
+                    resilience.check(
+                        "fleet.provision", key=buffer.refills,
+                        attempt=self.fault_attempt_bias + attempt)
                 except InjectedFault as exc:
                     last_fault = exc
                     buffer.stalls += 1
@@ -367,12 +432,34 @@ class NoiseProvisioner:
 
         Consumes exactly ``count`` draws from each stream in row-major
         order, which is what makes the sequence independent of how
-        refills are batched.
+        refills are batched. Both plan modes consume exactly one noise
+        draw per slice, so mode history never desynchronizes the
+        stream: in ``laplace`` mode the draw *is* the slice's noise
+        (at the profile-scaled b); in ``dstar`` mode unit-scale draws
+        become the tree residuals r_t and each slice serves the
+        cumulative path-sum ``c[t] = c[parent(t)] + r_t`` at the
+        slice-dependent d* scale.
         """
         lo = buffer.fill
         hi = lo + count
-        draws = np.asarray(laplace_sample(self.scale, buffer._noise_rng,
-                                          size=count))
+        if buffer.mode == "dstar":
+            unit = np.asarray(laplace_sample(1.0, buffer._noise_rng,
+                                             size=count))
+            base_scale = self.scale * buffer.scale_factor
+            draws = np.empty(count)
+            cum = buffer._dstar_cum
+            for i in range(count):
+                t = buffer.dstar_t + 1 + i
+                mult = 1.0 if t == (t & -t) else float(
+                    math.floor(math.log2(t)))
+                cum[t] = cum[dstar_parent(t)] + \
+                    unit[i] * base_scale * mult
+                draws[i] = cum[t]
+            buffer.dstar_t += count
+        else:
+            draws = np.asarray(laplace_sample(
+                self.scale * buffer.scale_factor, buffer._noise_rng,
+                size=count))
         buffer.noise[lo:hi] = draws
         k = self.num_components
         plan = buffer.per_comp[lo:hi]

@@ -105,6 +105,8 @@ class FleetShard:
     sacrificial: bool = False
     shared_plans: bool = True
     observe: bool = False
+    defense_policy: object = None
+    attackers: "dict | None" = None
 
     def _crash_check(self, window: int) -> None:
         """The ``fleet.shard`` fault point, hit once per window.
@@ -119,15 +121,28 @@ class FleetShard:
 
     def run(self) -> ShardReport:
         start = time.perf_counter()
+        # The recovery generation biases implicitly-counted fault
+        # points (admission, policy decisions): a replacement worker
+        # replays the identical schedule, so without the bias a
+        # ``times``-bounded fault an earlier generation absorbed would
+        # re-fire forever and crash-loop the supervisor.
         with resilience.session(self.fault_plan,
-                                sacrificial=self.sacrificial):
+                                sacrificial=self.sacrificial,
+                                attempt_bias=self.generation):
             plane = FleetControlPlane(
                 self.artifact, seed=self.seed,
                 capacity=self.capacity, watermark=self.watermark,
                 housekeeping_interval=self.housekeeping_interval,
-                shared_plans=self.shared_plans)
+                shared_plans=self.shared_plans,
+                defense_policy=self.defense_policy,
+                fault_generation=self.generation)
             try:
-                obs_scope = observability.session() if self.observe \
+                # The defense plane decides on detector alerts, so a
+                # policy-armed shard always runs under an observability
+                # session (its alert stream is per-tenant deterministic
+                # regardless of shard count).
+                observe = self.observe or self.defense_policy is not None
+                obs_scope = observability.session() if observe \
                     else nullcontext(None)
                 with obs_scope as obs_runtime:
                     generator = LoadGenerator(
@@ -136,6 +151,7 @@ class FleetShard:
                         concurrency=self.concurrency,
                         ticks_per_round=self.ticks_per_round,
                         slice_s=self.slice_s,
+                        attackers=self.attackers,
                         window_hook=self._crash_check)
                     replay = generator.run()
                     slo_values = (obs_runtime.slo.export_values()
@@ -305,7 +321,8 @@ class ShardedFleet:
                  overflow_policy: str = "queue",
                  shard_timeout_s: float = 600.0,
                  max_generations: int = 3,
-                 shared_plans: bool = True) -> None:
+                 shared_plans: bool = True,
+                 defense_policy=None) -> None:
         if max_tenants_per_shard is not None and max_tenants_per_shard < 1:
             raise ValueError(f"max_tenants_per_shard must be >= 1, got "
                              f"{max_tenants_per_shard}")
@@ -324,6 +341,7 @@ class ShardedFleet:
         self.shard_timeout_s = shard_timeout_s
         self.max_generations = max_generations
         self.shared_plans = shared_plans
+        self.defense_policy = defense_policy
 
     @property
     def shard_count(self) -> int:
@@ -335,7 +353,13 @@ class ShardedFleet:
                      slices_per_window: int, generation: int,
                      sacrificial: bool, observe: bool,
                      concurrency, ticks_per_round: int,
-                     slice_s: float) -> FleetShard:
+                     slice_s: float,
+                     attackers: "dict | None" = None) -> FleetShard:
+        shard_attackers = None
+        if attackers:
+            shard_attackers = {
+                spec.tenant_id: attackers[spec.tenant_id]
+                for spec in specs if spec.tenant_id in attackers}
         return FleetShard(
             shard_id=shard_id, artifact=self.artifact, seed=self.seed,
             specs=specs, windows=windows,
@@ -345,7 +369,9 @@ class ShardedFleet:
             concurrency=concurrency, ticks_per_round=ticks_per_round,
             slice_s=slice_s, fault_plan=self.fault_plan,
             generation=generation, sacrificial=sacrificial,
-            shared_plans=self.shared_plans, observe=observe)
+            shared_plans=self.shared_plans, observe=observe,
+            defense_policy=self.defense_policy,
+            attackers=shard_attackers)
 
     def _run_batch(self, shards: "list[FleetShard]", mode: str
                    ) -> "dict[int, ShardReport | None]":
@@ -396,7 +422,8 @@ class ShardedFleet:
             slices_per_window: int = 3000, mode: str = "process",
             concurrency: "int | None" = None, ticks_per_round: int = 1,
             slice_s: float = 1e-3,
-            observe: bool = False) -> ShardedReplayReport:
+            observe: bool = False,
+            attackers: "dict | None" = None) -> ShardedReplayReport:
         """Route, replay, recover, merge.
 
         ``mode="process"`` runs every shard in a forked sacrificial
@@ -412,6 +439,11 @@ class ShardedFleet:
             if spec.tenant_id in spec_by_id:
                 raise ValueError(f"duplicate tenant {spec.tenant_id!r}")
             spec_by_id[spec.tenant_id] = spec
+        if attackers:
+            unknown = sorted(set(attackers) - set(spec_by_id))
+            if unknown:
+                raise ValueError(f"attacker profiles target unknown "
+                                 f"tenant(s): {unknown}")
 
         start = time.perf_counter()
         assignments = self.router.assignments(spec_by_id)
@@ -452,7 +484,7 @@ class ShardedFleet:
                         shard_id, [spec_by_id[t] for t in tenant_ids],
                         windows, slices_per_window, generation,
                         sacrificial, observe, concurrency,
-                        ticks_per_round, slice_s)
+                        ticks_per_round, slice_s, attackers=attackers)
                     for shard_id, tenant_ids in sorted(pending.items())]
                 results = self._run_batch(batch, mode)
                 crashed = sorted(sid for sid, rep in results.items()
@@ -561,7 +593,7 @@ class ShardedFleet:
             "plan_segments": len(r.plan_segments),
         } for r in sorted(shard_reports,
                           key=lambda r: (r.shard_id, r.generation))]
-        return {
+        payload = {
             "processor_model": first["processor_model"],
             "mechanism": first["mechanism"],
             "epsilon": first["epsilon"],
@@ -585,3 +617,24 @@ class ShardedFleet:
                 "slo": report.slo,
             },
         }
+        # Merge the per-shard defense snapshots: tenant states union
+        # (tenants never span shards), state counts and fault counters
+        # sum, the profile is fleet-wide so any shard's copy serves.
+        defense_blocks = [s.status["defense"] for s in shard_reports
+                          if "defense" in s.status]
+        if defense_blocks:
+            states = {state: 0 for state in defense_blocks[0]["states"]}
+            defense_tenants: dict = {}
+            faults = 0
+            for block in defense_blocks:
+                for state, count in block["states"].items():
+                    states[state] = states.get(state, 0) + count
+                defense_tenants.update(block["tenants"])
+                faults += block["policy_faults"]
+            payload["defense"] = {
+                "profile": defense_blocks[0]["profile"],
+                "states": states,
+                "policy_faults": faults,
+                "tenants": dict(sorted(defense_tenants.items())),
+            }
+        return payload

@@ -95,6 +95,24 @@ def render_status_frame(status: dict,
             lines.extend(_alert_lines(alerts))
         else:
             lines.append("(none)")
+    defense = status.get("defense")
+    if defense is not None:
+        states = defense.get("states", {})
+        lines.append("")
+        lines.append("## Defense ("
+                     + defense.get("profile", {}).get("name", "?") + ")")
+        lines.append("  ".join(f"{state}={count}"
+                               for state, count in states.items())
+                     + f"  faults={defense.get('policy_faults', 0)}")
+        for tenant_id, row in sorted(defense.get("tenants", {}).items()):
+            if row["state"] == "NORMAL" and not row["transitions"]:
+                continue
+            lines.append(
+                f"[{row['state']:>11s}] {tenant_id} "
+                f"alerts={row['alerts_seen']} "
+                f"transitions={len(row['transitions'])} "
+                f"quarantined={row['quarantined_windows']}"
+                + (" FAULT-FORCED" if row.get("fault_forced") else ""))
     return "\n".join(lines).rstrip() + "\n"
 
 

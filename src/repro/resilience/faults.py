@@ -16,6 +16,9 @@ The instrumented fault points:
 ``checkpoint.write``      a shard checkpoint write (torn-write simulation)
 ``daemon.noise_refill``   the obfuscator daemon's noise-buffer refill
 ``fleet.admit``           the fleet admission controller's decision path
+``fleet.policy``          the adaptive defense engine's per-tenant
+                          decision path (fail-closed: exhausted
+                          retries quarantine, never relax)
 ``fleet.provision``       a fleet noise-provisioner refill
 ``fleet.shard``           a fleet shard worker's replay loop (kill =
                           shard crash; the supervisor reassigns and
@@ -51,8 +54,8 @@ from repro.telemetry import runtime as telemetry
 
 #: Every site instrumented with :func:`repro.resilience.runtime.check`.
 FAULT_POINTS = ("campaign.shard", "cache.store.read", "checkpoint.write",
-                "daemon.noise_refill", "fleet.admit", "fleet.provision",
-                "fleet.shard", "kernel_module.read")
+                "daemon.noise_refill", "fleet.admit", "fleet.policy",
+                "fleet.provision", "fleet.shard", "kernel_module.read")
 
 #: Supported failure modes.
 FAULT_MODES = ("raise", "hang", "corrupt", "kill")
@@ -239,13 +242,25 @@ class FaultInjector:
     implicit ``attempt`` — their first ``times`` hits fault, later hits
     pass — while sites with an explicit supervisor-managed attempt
     (shard screening) stay deterministic across process boundaries.
+
+    ``attempt_bias`` shifts every *implicit* attempt: a replacement
+    fleet-shard worker arms with its recovery generation as the bias so
+    the replayed hits land past the ``times`` budget an earlier
+    generation already consumed — without it, a ``times: 1`` kill at an
+    implicitly-counted point (admission, refill) would re-fire against
+    every replacement and crash-loop the supervisor.
     """
 
     enabled = True
 
-    def __init__(self, plan: FaultPlan, sacrificial: bool = False) -> None:
+    def __init__(self, plan: FaultPlan, sacrificial: bool = False,
+                 attempt_bias: int = 0) -> None:
+        if attempt_bias < 0:
+            raise ValueError(f"attempt_bias must be >= 0, got "
+                             f"{attempt_bias}")
         self.plan = plan
         self.sacrificial = sacrificial
+        self.attempt_bias = attempt_bias
         self.fired: Counter = Counter()
         self._hits: Counter = Counter()
 
@@ -259,7 +274,7 @@ class FaultInjector:
         ``None`` when nothing fires.
         """
         if attempt is None:
-            attempt = self._hits[(point, key)]
+            attempt = self.attempt_bias + self._hits[(point, key)]
         self._hits[(point, key)] += 1
         spec = self.plan.decide(point, key=key, attempt=attempt, span=span)
         if spec is None:

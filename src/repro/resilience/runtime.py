@@ -32,9 +32,11 @@ _slot: "ProcessGlobal[FaultInjector | NoopFaultInjector]" = \
     ProcessGlobal(NOOP_INJECTOR)
 
 
-def arm(plan: FaultPlan, sacrificial: bool = False) -> FaultInjector:
+def arm(plan: FaultPlan, sacrificial: bool = False,
+        attempt_bias: int = 0) -> FaultInjector:
     """Install a live injector for ``plan``; returns it."""
-    return _slot.install(FaultInjector(plan, sacrificial=sacrificial))
+    return _slot.install(FaultInjector(plan, sacrificial=sacrificial,
+                                       attempt_bias=attempt_bias))
 
 
 def disarm() -> None:
@@ -57,15 +59,19 @@ def check(point: str, key: int = 0, attempt: "int | None" = None,
 
 
 @contextmanager
-def session(plan: "FaultPlan | None", sacrificial: bool = False):
+def session(plan: "FaultPlan | None", sacrificial: bool = False,
+            attempt_bias: int = 0):
     """Scoped arming: arm, yield the injector, restore the previous one.
 
     ``plan=None`` yields the currently armed injector unchanged, so
     call sites can pass an optional plan straight through.
+    ``attempt_bias`` shifts implicit attempt counts — fleet-shard
+    replacements pass their recovery generation here.
     """
     if plan is None:
         yield _slot.active()
         return
-    with _slot.scoped(FaultInjector(plan, sacrificial=sacrificial)) \
+    with _slot.scoped(FaultInjector(plan, sacrificial=sacrificial,
+                                    attempt_bias=attempt_bias)) \
             as injector:
         yield injector

@@ -302,6 +302,25 @@ class TestShardedFleet:
         assert status["health"]["healthy"]
         assert status["sharding"]["crashes"] == report.crashes
 
+    @pytest.mark.parametrize("point", ["fleet.admit",
+                                       "fleet.provision"])
+    def test_kill_inside_serve_path_recovers_digest_identical(
+            self, artifact, specs, reference, point):
+        # A kill mid-admission/provision dies inside a window, not at
+        # the shard boundary; the replacement generation's attempt
+        # bias keeps the consumed fault from re-firing, so recovery
+        # must still land on the reference digest.
+        plan = FaultPlan.parse(json.dumps({
+            "seed": 3,
+            "faults": [{"point": point, "mode": "kill",
+                        "times": 1}]}))
+        fleet = ShardedFleet(artifact, shards=2, seed=SEED,
+                             fault_plan=plan)
+        report = fleet.run(specs, windows=WINDOWS,
+                           slices_per_window=SLICES, mode="process")
+        assert report.fingerprint() == reference
+        assert report.crashes and report.crashes[0]["crashed_shards"]
+
     def test_every_shard_killed_recovers_inline(self, artifact, specs,
                                                 reference):
         # Inline mode demotes kill to raise; a match-less times:1 plan
@@ -404,11 +423,30 @@ class TestShardedCli:
         assert main(["fleet", "status", "--state-dir",
                      str(tmp_path)]) == 0
 
-    def test_shards_conflicts_with_attackers(self):
-        with pytest.raises(SystemExit, match="--attackers"):
+    def test_shards_accept_attackers_and_defense(self, tmp_path,
+                                                 capsys):
+        # Attacker traces used to be single-plane only; the defense
+        # plane made them shard-aware, so the old rejection is gone.
+        code = main(["fleet", "serve", "--seed", str(SEED),
+                     "--tenants", "4", "--windows", "2",
+                     "--slices", "50", "--shards", "2",
+                     "--shard-mode", "inline",
+                     "--attackers", "t00=burst-poll",
+                     "--defense-policy", "aggressive",
+                     "--state-dir", str(tmp_path)])
+        assert code == 0
+        status = read_json(tmp_path / "fleet-status.json")
+        assert status["defense"]["profile"]["name"] == "aggressive"
+        assert "t00" in status["defense"]["tenants"]
+        assert main(["fleet", "status", "--state-dir",
+                     str(tmp_path)]) == 0
+        assert "defense: profile aggressive" in capsys.readouterr().out
+
+    def test_shards_reject_unknown_attacker_tenant(self):
+        with pytest.raises(SystemExit, match="unknown tenant"):
             main(["fleet", "serve", "--tenants", "2", "--windows", "1",
                   "--slices", "20", "--shards", "2",
-                  "--attackers", "t00=burst-poll"])
+                  "--attackers", "nope=burst-poll"])
 
     def test_replay_with_shards_is_bit_identical(self, tmp_path,
                                                  capsys):

@@ -234,6 +234,28 @@ def test_ewma_detector_tracks_per_tenant_rate():
     assert detector._ewma == {}
 
 
+def test_registry_clear_resets_detector_state():
+    # Regression: clear() once dropped alerts but left EwmaDetector's
+    # per-tenant rate state behind, so a cleared registry fired on a
+    # different schedule than a fresh one. Pin the full reset: after
+    # clear(), the same feature sequence must replay identically.
+    def drive(registry):
+        fast = _steady_features(0, run_len=8, last_interval=0.0001)
+        warmup = _steady_features(0, run_len=2, last_interval=0.0001)
+        registry.evaluate("t0", warmup, at=1.0)
+        registry.evaluate("t0", fast, at=2.0)
+        return [(a.seq, a.detector, a.score)
+                for a in registry.alerts()]
+
+    registry = DetectorRegistry([EwmaDetector(alpha=0.5, floor=0.002,
+                                              min_reads=4)])
+    first = drive(registry)
+    assert first  # the fast read fires once warmed up
+    registry.clear()
+    assert all(d._ewma == {} for d in registry.detectors)
+    assert drive(registry) == first
+
+
 def test_registry_rising_edge_and_rearm():
     registry = DetectorRegistry([SingleStepCadenceDetector()])
     firing = _steady_features(24)
