@@ -8,7 +8,7 @@ fuzzing campaign and the compression it achieves.
 
 import pytest
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import emit, emit_metrics, once
 
 
 @pytest.mark.benchmark(group="setcover")
@@ -27,6 +27,8 @@ def test_minimal_covering_gadget_set(benchmark, fuzz_report):
         f"(paper: 43 gadgets cover 137 events)",
         f"compression vs one-gadget-per-event: "
         f"{naive / max(1, len(report.covering_set)):.1f}x",
+        f"evaluations to cover every responding event: "
+        f"{report.evals_to_cover} of {report.gadgets_tested} sampled",
         "top covering gadgets:",
     ]
     ranked = sorted(report.covering_set.items(),
@@ -34,6 +36,12 @@ def test_minimal_covering_gadget_set(benchmark, fuzz_report):
     for gadget, events in ranked[:8]:
         lines.append(f"  {gadget.name:<58s} -> {len(events):>3d} events")
     emit("setcover", "\n".join(lines))
+    emit_metrics("setcover", {
+        "covering_set_size": float(len(report.covering_set)),
+        "covered_events": float(len(covered)),
+        "evals_to_cover": float(report.evals_to_cover),
+    })
 
     assert covered == set(coverable)
     assert len(report.covering_set) < len(coverable)
+    assert 0 < report.evals_to_cover <= report.gadgets_tested

@@ -4,6 +4,8 @@ Subcommands mirror the paper's workflow::
 
     repro-aegis profile --workload website          # offline stage 1
     repro-aegis fuzz --budget 2000                  # offline stage 2
+    repro-aegis fuzz --strategy coverage --corpus-dir corpus/
+    repro-aegis search --budget 4000 --digest-out digests.json
     repro-aegis deploy --epsilon 0.5 -o aegis.json  # full offline pipeline
     repro-aegis attack --attack wfa                 # undefended attack
     repro-aegis attack --attack wfa --artifact aegis.json  # defended
@@ -330,6 +332,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.core.fuzzer import DEFAULT_SHARD_SIZE, EventFuzzer, FuzzingCampaign
     from repro.cpu.events import processor_catalog
     campaign_kwargs = _campaign_kwargs(args)
+    if args.corpus_dir and args.strategy != "coverage":
+        raise SystemExit("--corpus-dir requires --strategy coverage")
     catalog = processor_catalog(args.processor)
     events = np.flatnonzero(catalog.guest_sensitive)
     if args.events:
@@ -338,9 +342,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                          gadget_budget=args.budget,
                          shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
                          rng=args.seed)
-    campaign = FuzzingCampaign(fuzzer, **campaign_kwargs)
+    campaign = FuzzingCampaign(fuzzer, strategy=args.strategy,
+                               corpus_dir=args.corpus_dir or None,
+                               **campaign_kwargs)
     report = campaign.run(events)
     cstats = campaign.stats
+    if campaign.search_result is not None:
+        sres = campaign.search_result
+        _say(f"coverage search: {sres.evals} evaluations over "
+             f"{sres.rounds} rounds, {sres.coverage_features} coverage "
+             f"features, corpus of {sres.corpus_size} seeds")
+        _say(f"  corpus replay digest {sres.corpus_replay_digest[:16]}")
     _say(f"campaign: {cstats.num_shards} shards "
          f"({cstats.resumed_shards} resumed, "
          f"{cstats.screened_shards} screened) on {cstats.workers} worker(s)")
@@ -365,6 +377,63 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
          f"median {stats['median']:.0f} max {stats['max']:.0f}")
     _say(f"covering set: {len(report.covering_set)} gadgets cover "
          f"{sum(len(v) for v in report.covering_set.values())} events")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Run the coverage-guided gadget search standalone."""
+    from repro.core.fuzzer import EventFuzzer
+    from repro.cpu.events import processor_catalog
+    from repro.search import CoverageSearch
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    fault_plan = None
+    if args.fault_plan:
+        from repro.resilience import FaultPlan
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    catalog = processor_catalog(args.processor)
+    events = np.flatnonzero(catalog.guest_sensitive)
+    if args.events:
+        events = events[:args.events]
+    fuzzer = EventFuzzer(processor_model=args.processor,
+                         gadget_budget=args.budget, rng=args.seed)
+    search = CoverageSearch(
+        fuzzer.search_config(events), max_evals=args.budget,
+        workers=args.workers,
+        corpus_dir=args.corpus_dir or None,
+        checkpoint_dir=args.checkpoint_dir or None,
+        resume=args.resume,
+        target_events=args.target_events,
+        minimize=not args.no_minimize,
+        fault_plan=fault_plan)
+    result = search.run()
+    _say(f"search: {result.evals} evaluations over {result.rounds} "
+         f"rounds on {args.workers} worker(s) "
+         f"({result.elapsed_seconds:.2f} s)")
+    _say(f"covered {result.covered_count} of {len(events)} events, "
+         f"{result.coverage_features} coverage features")
+    _say(f"corpus: {result.corpus_size} seeds "
+         f"({result.minimize_evals} minimization measurements, "
+         f"{result.corpus_misses} damaged entries skipped)")
+    _say(f"corpus replay digest {result.corpus_replay_digest[:16]}, "
+         f"coverage digest {result.coverage_digest[:16]}")
+    if args.digest_out:
+        import json
+        import pathlib
+        payload = {"corpus_replay_digest": result.corpus_replay_digest,
+                   "coverage_digest": result.coverage_digest,
+                   "evals": result.evals,
+                   "rounds": result.rounds,
+                   "covered_events": result.covered_count,
+                   "coverage_features": result.coverage_features,
+                   "corpus_size": result.corpus_size}
+        pathlib.Path(args.digest_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        _say(f"digests written to {args.digest_out}")
     return 0
 
 
@@ -878,11 +947,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gadget pairs to sample")
     p.add_argument("--events", type=int, default=0,
                    help="limit fuzzed events (0 = all guest-sensitive)")
+    p.add_argument("--strategy", default="grammar",
+                   choices=("grammar", "coverage"),
+                   help="screening strategy: blind grammar sampling "
+                        "(grammar, default) or the coverage-guided "
+                        "corpus search (coverage)")
+    p.add_argument("--corpus-dir", default="",
+                   help="on-disk corpus directory for --strategy "
+                        "coverage (persists minimized seeds + coverage "
+                        "signatures across runs)")
     _add_campaign_options(p)
     _add_cache_options(p)
     _add_telemetry_options(p)
     _add_obs_options(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("search",
+                       help="standalone coverage-guided gadget search")
+    _add_common(p)
+    p.add_argument("--budget", type=_positive_int, default=2000,
+                   help="evaluation budget (default 2000; counts "
+                        "bootstrap samples, mutants, probes, and "
+                        "minimization measurements)")
+    p.add_argument("--events", type=int, default=0,
+                   help="limit target events (0 = all guest-sensitive)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker processes for chunk evaluation "
+                        "(default 1; results are bit-identical for "
+                        "any worker count)")
+    p.add_argument("--corpus-dir", default="",
+                   help="directory mirroring corpus admissions on disk")
+    p.add_argument("--checkpoint-dir", default="",
+                   help="directory for the round-granular search "
+                        "checkpoint")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint-dir instead of "
+                        "restarting the search")
+    p.add_argument("--target-events", type=_positive_int, default=None,
+                   help="stop early once this many events are covered")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip greedy seed minimization at admission")
+    p.add_argument("--fault-plan", default="", metavar="JSON",
+                   help="arm deterministic fault injection (e.g. the "
+                        "search.corpus.write chaos point)")
+    p.add_argument("--digest-out", default="", metavar="FILE",
+                   help="write corpus replay + coverage digests and "
+                        "eval counts as JSON (worker-invariance "
+                        "comparisons in CI)")
+    _add_telemetry_options(p)
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("deploy",
                        help="full offline pipeline -> artifact JSON")

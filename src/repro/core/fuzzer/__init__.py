@@ -8,7 +8,11 @@ executions, repeated cold/hot triggers, gadget reordering) -> gadget
 filtering (clustering, best gadget, minimal covering set).
 """
 
-from repro.core.fuzzer.grammar import Gadget, GadgetGrammar
+from repro.core.fuzzer.grammar import (
+    Gadget,
+    GadgetGrammar,
+    normalize_signature,
+)
 from repro.core.fuzzer.cleanup import InstructionCleaner, CleanupReport
 from repro.core.fuzzer.generator import ExecutionHarness, MeasuredDelta
 from repro.core.fuzzer.confirm import ConfirmationResult, GadgetConfirmer
@@ -61,6 +65,7 @@ __all__ = [
     "load_shard_checkpoint",
     "merge_screened",
     "minimal_covering_set",
+    "normalize_signature",
     "plan_shards",
     "save_shard_checkpoint",
     "screen_shard",

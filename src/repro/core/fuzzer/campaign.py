@@ -166,12 +166,21 @@ _CLEANUP_CACHE: dict[str, CleanupReport] = {}
 
 
 def default_cleanup(microarch_name: str) -> CleanupReport:
-    """Process-cached cleanup of the shared catalog for a named profile."""
+    """Process-cached cleanup of the shared catalog for a named profile.
+
+    The ``fuzz.cleanup_builds`` counter ticks only on an actual build
+    (a cache miss): under the fork start method workers inherit the
+    parent's populated cache, so the counter is invariant to worker
+    count — asserted by the telemetry worker-equivalence tests.
+    """
     report = _CLEANUP_CACHE.get(microarch_name)
     if report is None:
         profile = MICROARCH_PROFILES[microarch_name]
         report = InstructionCleaner(shared_catalog(), profile).run()
         _CLEANUP_CACHE[microarch_name] = report
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.counter("fuzz.cleanup_builds").inc()
     return report
 
 
@@ -594,7 +603,22 @@ class FuzzingCampaign:
         ignored when an explicit ``supervisor_policy`` is given.
     supervisor_policy:
         Full retry/timeout/backoff policy for the shard supervisor.
+    strategy:
+        ``"grammar"`` (default) screens the budget by blind grammar
+        sampling; ``"coverage"`` spends the same budget through the
+        coverage-guided search loop (:mod:`repro.search`), feeding the
+        responding gadgets into the identical confirmation/filtering
+        stages.
+    corpus_dir:
+        Coverage strategy only: directory mirroring corpus admissions
+        on disk (persistent across campaigns).
+    search_options:
+        Coverage strategy only: extra keyword arguments forwarded to
+        :class:`~repro.search.engine.CoverageSearch` (e.g.
+        ``target_events``, ``minimize``).
     """
+
+    STRATEGIES = ("grammar", "coverage")
 
     def __init__(self, fuzzer: "EventFuzzer", workers: int = 1,
                  checkpoint_dir: "str | Path | None" = None,
@@ -604,12 +628,23 @@ class FuzzingCampaign:
                  fault_plan: "FaultPlan | None" = None,
                  shard_timeout: "float | None" = None,
                  max_retries: int = 2,
-                 supervisor_policy: "SupervisorPolicy | None" = None
-                 ) -> None:
+                 supervisor_policy: "SupervisorPolicy | None" = None,
+                 strategy: str = "grammar",
+                 corpus_dir: "str | Path | None" = None,
+                 search_options: "dict | None" = None) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
         if resume and checkpoint_dir is None:
             raise CampaignError("resume requires a checkpoint_dir")
+        if strategy not in self.STRATEGIES:
+            raise CampaignError(f"unknown strategy {strategy!r}; choose "
+                                f"from {self.STRATEGIES}")
+        if corpus_dir is not None and strategy != "coverage":
+            raise CampaignError("corpus_dir requires strategy='coverage'")
+        self.strategy = strategy
+        self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
+        self.search_options = dict(search_options or {})
+        self.search_result = None
         self.fuzzer = fuzzer
         self.workers = workers
         self.checkpoint_dir = (Path(checkpoint_dir)
@@ -661,7 +696,60 @@ class FuzzingCampaign:
                         and not resilience.armed())
         with (resilience.session(self.fault_plan) if needs_faults
               else nullcontext()):
+            if self.strategy == "coverage":
+                return self._run_coverage(events)
             return self._run(events)
+
+    def _run_coverage(self, events: np.ndarray) -> "FuzzingReport":
+        """Spend the budget through the coverage-guided search loop.
+
+        The search's responding gadgets become the screened candidate
+        pool the fuzzer's confirmation/filtering stages consume — the
+        report has the same shape as a grammar campaign, with the
+        search result kept on ``self.search_result``.
+        """
+        from repro.search.engine import CoverageSearch
+
+        fuzzer = self.fuzzer
+        step_seconds: dict[str, float] = {}
+        tracer = telemetry.tracer()
+
+        start = time.perf_counter()
+        with tracer.span("fuzz.cleanup"):
+            cleanup = fuzzer.run_cleanup()
+        step_seconds["cleanup"] = time.perf_counter() - start
+
+        if self.workers > 1:
+            fuzzer.require_shardable()
+        search_checkpoint = (self.checkpoint_dir / "search"
+                             if self.checkpoint_dir is not None else None)
+        search = CoverageSearch(
+            fuzzer.search_config(events),
+            max_evals=fuzzer.gadget_budget,
+            workers=self.workers,
+            corpus_dir=self.corpus_dir,
+            checkpoint_dir=search_checkpoint,
+            resume=self.resume,
+            fault_plan=self.fault_plan,
+            **self.search_options)
+
+        start = time.perf_counter()
+        with tracer.span("fuzz.screening", strategy="coverage"):
+            result = search.run()
+        step_seconds["generation_execution"] = time.perf_counter() - start
+        self.search_result = result
+        self.stats = CampaignStats(num_shards=result.rounds,
+                                   screened_shards=result.rounds,
+                                   workers=self.workers)
+
+        registry = telemetry.metrics()
+        if registry.enabled:
+            registry.gauge("campaign.workers").set(self.workers)
+
+        fuzzer.register_gadgets(result.gadgets)
+        screened = {event: list(pairs)
+                    for event, pairs in sorted(result.responders.items())}
+        return fuzzer.finalize(cleanup, screened, events, step_seconds)
 
     def _run(self, events: np.ndarray) -> "FuzzingReport":
         fuzzer = self.fuzzer

@@ -60,10 +60,26 @@ class FuzzingReport:
     screened_per_event: dict[int, int]
     confirmed_per_event: dict[int, list[ConfirmationResult]]
     covering_set: dict[Gadget, list[int]] = field(default_factory=dict)
+    #: Per covered event, the gadget index of its first responder —
+    #: screening order doubles as evaluation order, so this is the
+    #: evals-to-cover trajectory bench_setcover gates.
+    first_responder: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return sum(self.step_seconds.values())
+
+    @property
+    def evals_to_cover(self) -> int:
+        """Evaluations spent when the last covered event first responded.
+
+        Zero when nothing responded.  Comparable across strategies:
+        both grammar screening and coverage search index gadgets in
+        evaluation order.
+        """
+        if not self.first_responder:
+            return 0
+        return max(self.first_responder.values()) + 1
 
     @property
     def throughput_gadgets_per_second(self) -> float:
@@ -209,6 +225,37 @@ class EventFuzzer:
             thresholds=tuple(float(t) for t in thresholds),
         )
 
+    def search_config(self, event_indices: np.ndarray,
+                      **overrides) -> "SearchConfig":
+        """The coverage-search configuration for this fuzzer's events.
+
+        Shares the screening entropy and thresholds with
+        :meth:`shard_config`, so the search's grammar-sample tasks are
+        bit-identical to blind screening of the same indices.
+        """
+        from repro.search.engine import SearchConfig
+
+        base = self.shard_config(event_indices)
+        return SearchConfig(
+            processor_model=base.processor_model,
+            microarch=base.microarch,
+            entropy=base.entropy,
+            unroll=base.unroll,
+            sequence_length=base.sequence_length,
+            empty_reset_prob=base.empty_reset_prob,
+            event_indices=base.event_indices,
+            thresholds=base.thresholds,
+            **overrides)
+
+    def register_gadgets(self, gadgets: "dict[int, Gadget]") -> None:
+        """Pre-populate the gadget replay memo (coverage campaigns).
+
+        Coverage-search evaluation indices are not grammar stream
+        indices, so the campaign registers the actual gadgets before
+        :meth:`finalize` replays them by index.
+        """
+        self._gadget_memo.update(gadgets)
+
     def gadget_at(self, gadget_index: int) -> Gadget:
         """Replay gadget ``gadget_index`` of this fuzzer's budget.
 
@@ -291,6 +338,9 @@ class EventFuzzer:
                                 for e in event_indices},
             confirmed_per_event=filtered,
             covering_set=covering,
+            first_responder={int(e): min(i for i, _ in screened[int(e)])
+                             for e in event_indices
+                             if screened.get(int(e))},
         )
 
     # -- the sequential campaign ----------------------------------------

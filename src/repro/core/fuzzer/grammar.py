@@ -23,6 +23,30 @@ from repro.utils.rng import ensure_rng
 DEFAULT_SEQUENCE_LENGTH = 1
 DEFAULT_EMPTY_RESET_PROB = 0.25
 
+#: Placeholder lengths normalize_signature() prepends to legacy
+#: signatures, distinct from any real sequence length.
+LEGACY_SIGNATURE_LENGTH = -1
+
+
+def normalize_signature(signature) -> tuple:
+    """Normalize a gadget signature to the current 6-tuple shape.
+
+    Accepts both the current ``(len(reset), len(trigger), *sets)``
+    6-tuples and the legacy 4-tuple shape from reports written before
+    sequence lengths were added; legacy signatures get
+    :data:`LEGACY_SIGNATURE_LENGTH` placeholders so old clusters stay
+    distinct from (and comparable to) each other without colliding
+    with real lengths.
+    """
+    sig = tuple(signature)
+    if len(sig) == 6:
+        return sig
+    if len(sig) == 4:
+        return (LEGACY_SIGNATURE_LENGTH, LEGACY_SIGNATURE_LENGTH) + sig
+    raise ValueError(
+        f"gadget signature must have 4 (legacy) or 6 elements, "
+        f"got {len(sig)}")
+
 
 @dataclass(frozen=True)
 class Gadget:
@@ -43,11 +67,20 @@ class Gadget:
 
     @property
     def signature(self) -> tuple:
-        """Cluster key: extensions and categories of both sequences.
+        """Cluster key: sequence lengths plus extensions and categories.
 
-        These properties "strongly indicate the root cause ... in the
-        underlying microarchitectural level" (paper Section VI-F).
+        The extension/category sets "strongly indicate the root cause
+        ... in the underlying microarchitectural level" (paper Section
+        VI-F); the leading lengths keep multi-instruction gadgets with
+        identical sets from clustering with shorter ones.  Legacy
+        4-tuple signatures (pre-length reports) are accepted by
+        :func:`normalize_signature`.
         """
+        return (len(self.reset), len(self.trigger)) + self.legacy_signature
+
+    @property
+    def legacy_signature(self) -> tuple:
+        """The pre-length 4-tuple signature, for old report parsers."""
         return (
             tuple(sorted({s.extension.value for s in self.reset})),
             tuple(sorted({s.category.value for s in self.reset})),

@@ -24,6 +24,9 @@ The instrumented fault points:
                           shard crash; the supervisor reassigns and
                           replays its tenants)
 ``kernel_module.read``    an RDPMC read inside the in-guest kernel module
+``search.corpus.write``   a coverage-search corpus entry write (corrupt =
+                          damaged on-disk entry; the loader treats it as
+                          a miss, never a crash)
 ========================  ==================================================
 
 Fault modes:
@@ -55,7 +58,8 @@ from repro.telemetry import runtime as telemetry
 #: Every site instrumented with :func:`repro.resilience.runtime.check`.
 FAULT_POINTS = ("campaign.shard", "cache.store.read", "checkpoint.write",
                 "daemon.noise_refill", "fleet.admit", "fleet.policy",
-                "fleet.provision", "fleet.shard", "kernel_module.read")
+                "fleet.provision", "fleet.shard", "kernel_module.read",
+                "search.corpus.write")
 
 #: Supported failure modes.
 FAULT_MODES = ("raise", "hang", "corrupt", "kill")

@@ -1,0 +1,129 @@
+"""Energy-based frontier scheduler for the coverage search.
+
+Each corpus seed carries an *energy* set at admission from how much
+coverage it added, multiplied up when its children keep finding new
+features and decayed when a round of mutation yields nothing.  The
+effective priority additionally weighs the rarity of the seed's own
+features (seeds in sparsely-covered regions stay interesting) and a
+set-cover bonus for seeds whose recorded *near-miss* events are still
+uncovered — those are one mutation away from covering a new catalog
+row.  Selection sorts by ``(-priority, digest)``: fully deterministic,
+no tie depends on insertion order or worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+DEFAULT_DECAY = 0.5
+DEFAULT_MIN_ENERGY = 0.05
+DEFAULT_MAX_ENERGY = 16.0
+DEFAULT_COVER_WEIGHT = 4.0
+DEFAULT_RARITY_WEIGHT = 1.0
+#: Energy multiplier when a seed's children expanded coverage.
+REWARD_FACTOR = 1.5
+
+
+@dataclass
+class SeedState:
+    """Scheduler bookkeeping for one corpus seed."""
+
+    digest: str
+    features: tuple[int, ...]
+    near: tuple[int, ...]
+    energy: float
+    picks: int = 0
+    admitted_children: int = 0
+
+    def to_payload(self) -> dict:
+        return {"digest": self.digest, "features": list(self.features),
+                "near": list(self.near), "energy": self.energy,
+                "picks": self.picks,
+                "admitted_children": self.admitted_children}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SeedState":
+        return cls(digest=str(payload["digest"]),
+                   features=tuple(int(f) for f in payload["features"]),
+                   near=tuple(int(e) for e in payload["near"]),
+                   energy=float(payload["energy"]),
+                   picks=int(payload.get("picks", 0)),
+                   admitted_children=int(payload.get(
+                       "admitted_children", 0)))
+
+
+@dataclass
+class FrontierScheduler:
+    """Deterministic seed selection over the corpus frontier."""
+
+    decay: float = DEFAULT_DECAY
+    min_energy: float = DEFAULT_MIN_ENERGY
+    max_energy: float = DEFAULT_MAX_ENERGY
+    cover_weight: float = DEFAULT_COVER_WEIGHT
+    rarity_weight: float = DEFAULT_RARITY_WEIGHT
+    seeds: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {self.decay}")
+
+    def admit(self, digest: str, features, near,
+              new_features: int) -> SeedState:
+        """Register a newly admitted corpus seed.
+
+        Initial energy grows with the log of how many coverage features
+        the seed added — a seed opening a whole unit outranks one that
+        refined a magnitude bucket.
+        """
+        state = SeedState(digest=digest, features=tuple(features),
+                          near=tuple(near),
+                          energy=min(self.max_energy,
+                                     1.0 + math.log1p(new_features)))
+        self.seeds[digest] = state
+        return state
+
+    def credit(self, digest: str, admitted_children: int) -> None:
+        """Feed back one round's outcome for a selected seed."""
+        state = self.seeds.get(digest)
+        if state is None:
+            return
+        state.picks += 1
+        if admitted_children > 0:
+            state.admitted_children += admitted_children
+            state.energy = min(self.max_energy,
+                               state.energy * REWARD_FACTOR
+                               + 0.5 * admitted_children)
+        else:
+            state.energy = max(self.min_energy, state.energy * self.decay)
+
+    def priority(self, state: SeedState, coverage_map,
+                 uncovered_events) -> float:
+        """Effective energy of one seed against the current map."""
+        rarity = coverage_map.rarity(state.features)
+        near_bonus = self.cover_weight * len(
+            set(state.near) & set(uncovered_events))
+        return state.energy * (1.0 + self.rarity_weight * rarity) + near_bonus
+
+    def select(self, count: int, coverage_map,
+               uncovered_events) -> "list[SeedState]":
+        """The ``count`` highest-priority seeds, deterministically.
+
+        Ties break on digest, so the same corpus + map always yields
+        the same frontier regardless of admission order.
+        """
+        uncovered = set(uncovered_events)
+        ranked = sorted(
+            self.seeds.values(),
+            key=lambda s: (-self.priority(s, coverage_map, uncovered),
+                           s.digest))
+        return ranked[:count]
+
+    def to_payload(self) -> dict:
+        return {"seeds": [self.seeds[d].to_payload()
+                          for d in sorted(self.seeds)]}
+
+    def restore(self, payload: dict) -> None:
+        for raw in payload.get("seeds", ()):
+            state = SeedState.from_payload(raw)
+            self.seeds[state.digest] = state

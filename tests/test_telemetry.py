@@ -302,6 +302,11 @@ def test_merged_telemetry_identical_across_worker_counts(
     assert {s.process for s in run4.shard_spans()} \
         == {f"shard-{i:05d}" for i in range(4)}
     assert run4.metrics["counters"]["fuzz.gadgets_screened"] == 160.0
+    # The cleanup-build counter ticks only on a cache miss; forked
+    # workers inherit the populated memo, so it is equal at any worker
+    # count (and absent from both runs when the memo was already warm).
+    assert run1.metrics["counters"].get("fuzz.cleanup_builds", 0.0) \
+        == run4.metrics["counters"].get("fuzz.cleanup_builds", 0.0)
 
 
 def test_traced_campaign_writes_per_shard_files(
